@@ -1,0 +1,123 @@
+"""Figure 10: (a) the hidden-opportunity Join, (b) progressive
+optimization, (c) exploratory-mode (data exploration) overhead."""
+
+from conftest import run_once
+from harness import Cell, fresh_context, print_series, sim_extra_info
+from repro.core.executor import Sniffer
+from repro.core.udf import Udf
+from repro.workloads import TpchLite
+from tasks import build_wordcount, wordcount_quanta
+
+
+def _join_task(ctx, sf):
+    """The paper's TPC-H Q5 subquery: SUPPLIER x CUSTOMER (both resident in
+    Postgres) joined and aggregated on nationkey."""
+    TpchLite(sf).place_for_q5(ctx)
+    n_customer = 150_000 * sf
+    suppliers = ctx.read_table("supplier", projection=["suppkey", "nationkey"])
+    customers = ctx.read_table("customer", projection=["custkey", "nationkey"])
+    joined = suppliers.join(customers, lambda s: s["nationkey"],
+                            lambda c: c["nationkey"],
+                            selectivity=1.0 / 25, sim_mode="product")
+    return (joined.map(lambda p: (p[0]["nationkey"], 1), bytes_per_record=16)
+            .reduce_by_key(lambda t: t[0], lambda a, b: (a[0], a[1] + b[1]),
+                           sim_groups=25))
+
+
+class TestFig10aJoin:
+    def test_join_vs_pure_postgres(self, benchmark):
+        def scenario():
+            rows = {}
+            for sf in (1, 10):
+                free = _join_task(fresh_context(), sf).execute()
+                forced = _join_task(fresh_context(), sf).execute(
+                    allowed_platforms={"pgres", "driver"})
+                rows[f"sf{sf}"] = {
+                    "Rheem": Cell(free.runtime,
+                                  "+".join(sorted(free.platforms))),
+                    "Postgres*": Cell(forced.runtime),
+                }
+                assert sorted(free.output) == sorted(forced.output)
+            print_series("Fig 10(a) Join (data resident in Postgres)",
+                         "scale factor", rows)
+            return rows
+
+        rows = run_once(benchmark, scenario)
+        sim_extra_info(benchmark, rows)
+        # The hidden opportunity: even though the data lives in Postgres,
+        # shipping the (projected) tuples to a parallel engine wins.
+        assert rows["sf10"]["Rheem"].seconds < \
+            rows["sf10"]["Postgres*"].seconds / 1.5
+        assert rows["sf1"]["Rheem"].seconds <= rows["sf1"]["Postgres*"].seconds
+
+
+def _po_plan(ctx, hint):
+    """Join-after-misestimated-filter (the Figure 10(b) setup)."""
+    rows = [f"item{i},{i % 1000}" for i in range(4000)]
+    ctx.vfs.write("hdfs://po/events.csv", rows, sim_factor=10_000.0,
+                  bytes_per_record=100.0)
+    lookup = ctx.load_collection([(k, f"cat{k % 7}") for k in range(1000)],
+                                 bytes_per_record=20)
+    hinted = Udf(lambda t: t[1] >= 1, selectivity=hint, name="name-filter")
+    events = (ctx.read_text_file("hdfs://po/events.csv")
+              .map(lambda l: (l.split(",")[0], int(l.split(",")[1])),
+                   name="parse")
+              .filter(hinted))
+    joined = events.join(lookup, lambda e: e[1], lambda kv: kv[0],
+                         selectivity=1.0 / 1000)
+    return (joined.map(lambda p: (p[1][1], 1), bytes_per_record=12)
+            .reduce_by_key(lambda t: t[0], lambda a, b: (a[0], a[1] + b[1]))
+            .to_plan())
+
+
+class TestFig10bProgressive:
+    def test_progressive_reoptimization(self, benchmark):
+        def scenario():
+            ctx_off = fresh_context()
+            off = ctx_off.execute(_po_plan(ctx_off, hint=0.0001))
+            ctx_on = fresh_context()
+            report = ctx_on.execute_progressive(
+                _po_plan(ctx_on, hint=0.0001), tolerance=2.0)
+            rows = {"misestimated filter": {
+                "PO off": Cell(off.runtime),
+                "PO on": Cell(report.result.runtime,
+                              f"{report.replans} replan(s)"),
+            }}
+            print_series("Fig 10(b) progressive optimization", "scenario",
+                         rows)
+            assert sorted(off.output) == sorted(report.result.output)
+            return rows, report.replans
+
+        (rows, replans) = run_once(benchmark, scenario)
+        sim_extra_info(benchmark, rows)
+        cells = rows["misestimated filter"]
+        assert replans >= 1
+        # Paper: ~4x; anything >= 2x demonstrates the mechanism.
+        assert cells["PO off"].seconds > 2 * cells["PO on"].seconds
+
+
+class TestFig10cExploration:
+    def test_sniffer_overhead(self, benchmark):
+        def scenario():
+            plain = build_wordcount(50).execute()
+            dq = build_wordcount(50)
+            # Tap the word stream right before the reduce, as the paper's
+            # modified WordCount does.
+            flatmap_op = dq.op.inputs[0].op.inputs[0].op
+            seen = []
+            sniffed = dq.execute(sniffers=[Sniffer(flatmap_op.id,
+                                                   seen.append)])
+            rows = {"WordCount 50%": {
+                "DE off": Cell(plain.runtime),
+                "DE on": Cell(sniffed.runtime),
+            }}
+            print_series("Fig 10(c) exploratory mode", "scenario", rows)
+            assert seen, "the sniffer callback must observe data"
+            return rows
+
+        rows = run_once(benchmark, scenario)
+        sim_extra_info(benchmark, rows)
+        cells = rows["WordCount 50%"]
+        overhead = cells["DE on"].seconds / cells["DE off"].seconds - 1.0
+        # Paper: ~36% overhead; assert it is in a sane low band.
+        assert 0.0 < overhead < 0.8

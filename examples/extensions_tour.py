@@ -1,0 +1,79 @@
+"""A tour of the surfaces beyond the core pipeline: EXPLAIN, SQL, the REST
+interface, monetary-cost optimization, and cross-platform fault tolerance.
+
+Run:  python examples/extensions_tour.py
+"""
+
+from repro import RheemContext
+from repro.api import RheemService
+from repro.apps import run_sql
+from repro.core import FaultInjector, monetary, price_of
+from repro.studio import explain
+from repro.workloads import write_abstracts
+
+
+def wordcount(ctx):
+    from repro.core.udf import Udf
+
+    split = Udf(lambda line: line.split(), selectivity=9.0, name="split")
+    return (ctx.read_text_file("hdfs://demo/abstracts.txt")
+            .flat_map(split, bytes_per_record=10)
+            .map(lambda w: (w, 1), bytes_per_record=14)
+            .reduce_by_key(lambda t: t[0], lambda a, b: (a[0], a[1] + b[1])))
+
+
+def main() -> None:
+    # --- EXPLAIN: what would the optimizer do, without running? ----------
+    ctx = RheemContext()
+    write_abstracts(ctx, "hdfs://demo/abstracts.txt", percent=10)
+    print("EXPLAIN WordCount@10%:")
+    print(explain(ctx, wordcount(ctx).to_plan()))
+
+    # --- runtime vs. dollars ---------------------------------------------
+    fast = wordcount(ctx).execute()
+    cheap = wordcount(ctx).execute(objective=monetary())
+    print(f"runtime objective:  {fast.runtime:6.1f}s on "
+          f"{'+'.join(sorted(fast.platforms))}  (${price_of(fast):.4f})")
+    print(f"monetary objective: {cheap.runtime:6.1f}s on "
+          f"{'+'.join(sorted(cheap.platforms))}  (${price_of(cheap):.4f})")
+
+    # --- fault tolerance ---------------------------------------------------
+    injector = FaultInjector(probability=0.4, seed=3)
+    survived = wordcount(ctx).execute(fault_injector=injector,
+                                      max_stage_retries=10)
+    print(f"\nchaos run: {injector.injected} injected crash(es) survived, "
+          f"runtime {survived.runtime:.1f}s "
+          f"(clean: {fast.runtime:.1f}s)")
+
+    # --- SQL through xDB ----------------------------------------------------
+    ctx.pgres.create_table(
+        "orders", ["okey", "nationkey", "total"],
+        [{"okey": i, "nationkey": i % 4, "total": float(i)}
+         for i in range(40)], sim_factor=1000.0)
+    report = run_sql(ctx, """
+        SELECT nationkey, SUM(total) FROM orders
+        WHERE total >= 10 GROUP BY nationkey
+    """)
+    print("\nSQL revenue report:", sorted(report.output))
+
+    # --- REST: a JSON job document -----------------------------------------
+    service = RheemService(ctx)
+    response = service.submit({
+        "operators": [
+            {"name": "lines", "kind": "textfile_source",
+             "path": "hdfs://demo/abstracts.txt"},
+            {"name": "words", "kind": "flatmap", "input": "lines",
+             "expr": "x.split()"},
+            {"name": "n", "kind": "count", "input": "words"},
+        ],
+        "sink": {"name": "n"},
+        "execution": {"platforms": ["Flink"]},
+    })
+    print(f"\nREST job: status={response['status']} "
+          f"words={response['output'][0]:,} "
+          f"runtime={response['runtime']:.1f}s "
+          f"platforms={response['platforms']}")
+
+
+if __name__ == "__main__":
+    main()

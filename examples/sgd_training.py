@@ -1,0 +1,48 @@
+"""Machine learning with ML4all: SGD whose loop body hops platforms
+(the paper's Section 2.2 opportunistic use case).
+
+The training plan reads and caches the points on a distributed engine,
+then runs each iteration's tiny sample/compute/update steps in-process —
+the mix that makes Rheem up to an order of magnitude faster than running
+the same algorithm purely on the Spark analog.
+
+Run:  python examples/sgd_training.py
+"""
+
+from repro import RheemContext
+from repro.apps import ML4all, sgd_hinge
+from repro.baselines import mllib_sgd
+from repro.workloads import write_points
+from repro.workloads.points import DATASETS
+
+ITERATIONS = 200
+
+
+def main() -> None:
+    spec = DATASETS["higgs"]
+    print(f"dataset: {spec.name}, {spec.sim_points:,.0f} simulated points, "
+          f"{spec.dimensions} features")
+
+    ctx = RheemContext()
+    write_points(ctx, "hdfs://demo/points.csv", "higgs", percent=100)
+    result = ML4all(ctx).train(
+        "hdfs://demo/points.csv", sgd_hinge(spec.dimensions),
+        iterations=ITERATIONS, sample_size=10)
+    weights = result.output[0]
+    print(f"\nML@Rheem: {result.runtime:.1f}s simulated on "
+          f"{'+'.join(sorted(result.platforms))}")
+    print(f"  |w| = {len(weights)}, ||w|| = "
+          f"{sum(w * w for w in weights) ** 0.5:.3f}")
+
+    ctx2 = RheemContext()
+    write_points(ctx2, "hdfs://demo/points.csv", "higgs", percent=100)
+    baseline = mllib_sgd(ctx2, "hdfs://demo/points.csv",
+                         sgd_hinge(spec.dimensions), iterations=ITERATIONS)
+    print(f"\nMLlib* (pure Spark analog): {baseline.runtime:.1f}s simulated "
+          f"({baseline.runtime / result.runtime:.1f}x slower)")
+    print("\nwhy: the loop body touches ~10 points per iteration; paying a "
+          "distributed job per iteration is what the mixed plan avoids.")
+
+
+if __name__ == "__main__":
+    main()

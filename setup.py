@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Packaging metadata lives in ``setup.cfg``.  This project deliberately has no
+``pyproject.toml``: the reproduction environment is offline and pip's PEP 517
+build isolation (triggered by that file's presence) cannot fetch build
+dependencies, whereas the classic ``setup.py`` editable path works anywhere.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro: a Python reproduction of RHEEM, the cross-platform data
+processing system (PVLDB 2018 / ICDE 2018 tutorial).
+
+Quickstart::
+
+    from repro import RheemContext
+
+    ctx = RheemContext()
+    ctx.vfs.write("hdfs://data/lines.txt", ["a b", "b c"], sim_factor=1.0)
+    result = (ctx.read_text_file("hdfs://data/lines.txt")
+                 .flat_map(str.split)
+                 .map(lambda w: (w, 1))
+                 .reduce_by_key(lambda t: t[0],
+                                lambda a, b: (a[0], a[1] + b[1]))
+                 .collect())
+"""
+
+from .core.context import DataQuanta, RheemContext
+from .core.executor import ExecutionResult, Sniffer
+from .core.plan import RheemPlan
+
+__version__ = "1.0.0"
+
+__all__ = ["DataQuanta", "RheemContext", "ExecutionResult", "Sniffer",
+           "RheemPlan", "__version__"]

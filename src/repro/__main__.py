@@ -1,0 +1,80 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro run SCRIPT.latin [--abstracts PCT] [--pagelinks PCT]
+    python -m repro serve [--port 8642]
+
+``run`` executes a RheemLatin script against a fresh context (optionally
+pre-seeding the virtual HDFS with the benchmark corpora so scripts have
+something to read); ``dump``ed results are printed.  ``serve`` exposes the
+REST interface (``POST /jobs`` with a JSON job document) via wsgiref.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import RheemContext
+from .latin import Interpreter
+from .workloads import write_abstracts, write_pagelinks
+
+
+def _build_context(args: argparse.Namespace) -> RheemContext:
+    ctx = RheemContext()
+    if args.abstracts:
+        write_abstracts(ctx, "hdfs://data/abstracts.txt", args.abstracts)
+    if args.pagelinks:
+        write_pagelinks(ctx, "hdfs://data/pagelinks.txt", args.pagelinks)
+    return ctx
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.script) as handle:
+        source = handle.read()
+    interpreter = Interpreter(_build_context(args))
+    results = interpreter.run(source)
+    for name, value in results.items():
+        preview = value if len(value) <= 20 else value[:20]
+        print(f"{name}: {preview}")
+        if len(value) > 20:
+            print(f"  ... ({len(value)} records total)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from wsgiref.simple_server import make_server
+
+    from .api import RheemService, wsgi_app
+
+    service = RheemService(_build_context(args))
+    server = make_server("127.0.0.1", args.port, wsgi_app(service))
+    print(f"rheem REST service on http://127.0.0.1:{args.port}/jobs")
+    server.serve_forever()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RHEEM reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute a RheemLatin script")
+    run.add_argument("script", help="path to the .latin script")
+    serve = sub.add_parser("serve", help="start the REST service")
+    serve.add_argument("--port", type=int, default=8642)
+    for p in (run, serve):
+        p.add_argument("--abstracts", type=float, default=0.0,
+                       help="seed hdfs://data/abstracts.txt at this percent")
+        p.add_argument("--pagelinks", type=float, default=0.0,
+                       help="seed hdfs://data/pagelinks.txt at this percent")
+
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_serve(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Pure data-processing algorithms shared by platforms and applications."""
+
+from .iejoin import ie_join, naive_inequality_join
+from .minhash import (
+    hash_family,
+    jaccard_estimate,
+    merge_signatures,
+    minhash_signature,
+    stable_hash,
+    value_hashes,
+)
+from .pagerank import pagerank_edges
+
+__all__ = [
+    "ie_join",
+    "naive_inequality_join",
+    "hash_family",
+    "jaccard_estimate",
+    "merge_signatures",
+    "minhash_signature",
+    "stable_hash",
+    "value_hashes",
+    "pagerank_edges",
+]

@@ -1,0 +1,159 @@
+"""Fast inequality joins (the paper's plugged-in IEJoin operator).
+
+Rheem's extensibility let BigDansing plug the "Lightning Fast and Space
+Efficient Inequality Joins" algorithm (Khayyat et al., PVLDB 2015) as a new
+operator, which is one order of magnitude of Figure 2(a)'s win.  This module
+implements a sort + offset + bitmap inequality join in that algorithm's
+spirit: O(n log n + m log m) preparation and output-sensitive enumeration
+over machine-word bitsets, versus the cartesian O(n*m) of a naive join.
+
+Supported predicates: one or two conditions of the form
+``left_key(l) <op> right_key(r)`` with ``op`` in ``<, <=, >, >=``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Callable, Iterable, Sequence
+
+Condition = tuple[Callable[[Any], Any], str, Callable[[Any], Any]]
+
+_STRICT = {"<", ">"}
+_ALL_OPS = {"<", "<=", ">", ">="}
+
+
+def _check_conditions(conditions: Sequence[Condition]) -> None:
+    if not 1 <= len(conditions) <= 2:
+        raise ValueError("ie_join supports one or two conditions")
+    for __, op, __ in conditions:
+        if op not in _ALL_OPS:
+            raise ValueError(f"unsupported inequality operator {op!r}")
+
+
+def naive_inequality_join(
+    left: Iterable[Any],
+    right: Iterable[Any],
+    conditions: Sequence[Condition],
+) -> list[tuple[Any, Any]]:
+    """Reference O(n*m) implementation (also the SparkSQL-style baseline)."""
+    _check_conditions(conditions)
+    ops = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+    right_list = list(right)
+    out = []
+    for l in left:
+        for r in right_list:
+            if all(ops[op](lk(l), rk(r)) for lk, op, rk in conditions):
+                out.append((l, r))
+    return out
+
+
+def ie_join(
+    left: Sequence[Any],
+    right: Sequence[Any],
+    conditions: Sequence[Condition],
+) -> list[tuple[Any, Any]]:
+    """Inequality join via sorting, offsets and bitset enumeration.
+
+    Returns all ``(l, r)`` pairs satisfying every condition.  Output order
+    is not specified (tests compare as multisets).
+    """
+    _check_conditions(conditions)
+    left = list(left)
+    right = list(right)
+    if not left or not right:
+        return []
+
+    (lk1, op1, rk1) = conditions[0]
+    second = conditions[1] if len(conditions) == 2 else None
+
+    # Sort the right side by the first condition's key.  Processing the left
+    # side in the matching order lets a single pointer "activate" exactly the
+    # right records satisfying condition 1.
+    ascending = op1 in (">", ">=")  # l > r: small r first, iterate l ascending
+    rx = sorted(range(len(right)), key=lambda i: rk1(right[i]),
+                reverse=not ascending)
+    rx_keys = [rk1(right[i]) for i in rx]
+    lorder = sorted(range(len(left)), key=lambda i: lk1(left[i]),
+                    reverse=not ascending)
+    strict1 = op1 in _STRICT
+
+    if second is None:
+        return _one_condition_join(left, right, lorder, rx, rx_keys,
+                                   lk1, ascending, strict1)
+    return _two_condition_join(left, right, lorder, rx, rx_keys,
+                               lk1, ascending, strict1, second)
+
+
+def _activation_bound(rx_keys: list[Any], key: Any, ascending: bool,
+                      strict: bool) -> int:
+    """How many right records (in rx order) satisfy condition 1 for ``key``."""
+    if ascending:
+        # right keys ascending; satisfied iff r_key < key (strict) or <= key.
+        return bisect_left(rx_keys, key) if strict else bisect_right(rx_keys, key)
+    # right keys descending; satisfied iff r_key > key (strict) or >= key.
+    lo, hi = 0, len(rx_keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        k = rx_keys[mid]
+        if k > key or (not strict and k == key):
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _one_condition_join(left, right, lorder, rx, rx_keys, lk1,
+                        ascending, strict1) -> list[tuple[Any, Any]]:
+    out = []
+    for li in lorder:
+        bound = _activation_bound(rx_keys, lk1(left[li]), ascending, strict1)
+        l = left[li]
+        for pos in range(bound):
+            out.append((l, right[rx[pos]]))
+    return out
+
+
+def _two_condition_join(left, right, lorder, rx, rx_keys, lk1,
+                        ascending, strict1, second) -> list[tuple[Any, Any]]:
+    (lk2, op2, rk2) = second
+    # Rank every right record by the second condition's key; the records
+    # satisfying condition 2 for a given left record form a prefix or suffix
+    # of this order, selected with one binary search.
+    ry = sorted(range(len(right)), key=lambda i: rk2(right[i]))
+    ry_keys = [rk2(right[i]) for i in ry]
+    rank_in_ry = {i: pos for pos, i in enumerate(ry)}
+    m = len(right)
+    suffix = op2 in ("<", "<=")  # l < r: eligible right keys are LARGER
+    strict2 = op2 in _STRICT
+    full_mask = (1 << m) - 1
+
+    out: list[tuple[Any, Any]] = []
+    activated = 0  # bitset over ry ranks
+    pointer = 0
+    for li in lorder:
+        l = left[li]
+        bound = _activation_bound(rx_keys, lk1(l), ascending, strict1)
+        while pointer < bound:
+            activated |= 1 << rank_in_ry[rx[pointer]]
+            pointer += 1
+        if not activated:
+            continue
+        y = lk2(l)
+        if suffix:
+            pos = bisect_right(ry_keys, y) if strict2 else bisect_left(ry_keys, y)
+            mask = (full_mask >> pos) << pos
+        else:
+            pos = bisect_left(ry_keys, y) if strict2 else bisect_right(ry_keys, y)
+            mask = (1 << pos) - 1
+        hits = activated & mask
+        while hits:
+            low = hits & -hits
+            idx = low.bit_length() - 1
+            out.append((l, right[ry[idx]]))
+            hits ^= low
+    return out

@@ -1,0 +1,68 @@
+"""MinHash signatures for set-similarity estimation.
+
+Data Civilizer "constructs a graph that expresses relationships among data
+existing in heterogeneous data sources"; finding columns with similar value
+sets across stores is its bread and butter.  MinHash gives an unbiased
+estimate of the Jaccard similarity from small fixed-size signatures, and —
+crucially for the cross-platform setting — a column's signature is a pure
+map+reduce over its values, so each column can be hashed wherever it lives.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable, Sequence
+
+#: A Mersenne prime comfortably above 64-bit hash values.
+_PRIME = (1 << 61) - 1
+
+
+def stable_hash(value) -> int:
+    """A process-independent 60-bit hash of any printable value."""
+    digest = hashlib.blake2b(repr(value).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % _PRIME
+
+
+def hash_family(num_hashes: int, seed: int = 7) -> list[tuple[int, int]]:
+    """``num_hashes`` universal-hash parameter pairs ``(a, b)``."""
+    if num_hashes < 1:
+        raise ValueError("num_hashes must be >= 1")
+    rng = random.Random(seed)
+    return [(rng.randrange(1, _PRIME), rng.randrange(_PRIME))
+            for __ in range(num_hashes)]
+
+
+def value_hashes(value, family: Sequence[tuple[int, int]]) -> tuple[int, ...]:
+    """One value's coordinates under every hash of the family."""
+    h = stable_hash(value)
+    return tuple((a * h + b) % _PRIME for a, b in family)
+
+
+def merge_signatures(a: Sequence[int], b: Sequence[int]) -> tuple[int, ...]:
+    """Elementwise minimum: the associative reducer of MinHash."""
+    return tuple(min(x, y) for x, y in zip(a, b))
+
+
+def minhash_signature(values: Iterable, num_hashes: int = 64,
+                      seed: int = 7) -> tuple[int, ...]:
+    """The MinHash signature of a value collection (empty -> all-max)."""
+    family = hash_family(num_hashes, seed)
+    signature = tuple([_PRIME] * num_hashes)
+    for value in values:
+        signature = merge_signatures(signature, value_hashes(value, family))
+    return signature
+
+
+def jaccard_estimate(sig_a: Sequence[int], sig_b: Sequence[int]) -> float:
+    """Estimated Jaccard similarity: fraction of agreeing coordinates.
+
+    Raises:
+        ValueError: If the signatures have different lengths.
+    """
+    if len(sig_a) != len(sig_b):
+        raise ValueError("signatures must have equal length")
+    if not sig_a:
+        return 0.0
+    agree = sum(1 for x, y in zip(sig_a, sig_b) if x == y)
+    return agree / len(sig_a)

@@ -1,0 +1,52 @@
+"""Reference PageRank over an edge list.
+
+Shared by the graph engines (as ground truth for their superstep
+implementations) and by tests.  Dangling vertices redistribute their mass
+uniformly, matching networkx's convention.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+
+def pagerank_edges(
+    edges: Iterable[tuple[Hashable, Hashable]],
+    iterations: int = 10,
+    damping: float = 0.85,
+) -> dict[Hashable, float]:
+    """PageRank by power iteration on a directed edge list.
+
+    Args:
+        edges: ``(src, dst)`` pairs; repeated edges carry repeated weight.
+        iterations: Number of power iterations (the paper's tasks fix this,
+            e.g. 10 for CrocoPR).
+        damping: Teleport parameter.
+
+    Returns:
+        Vertex -> rank, summing to ~1.0 over all vertices.
+    """
+    adjacency: dict[Hashable, list[Hashable]] = {}
+    vertices: set[Hashable] = set()
+    for src, dst in edges:
+        adjacency.setdefault(src, []).append(dst)
+        vertices.add(src)
+        vertices.add(dst)
+    n = len(vertices)
+    if n == 0:
+        return {}
+    rank = {v: 1.0 / n for v in vertices}
+    for __ in range(iterations):
+        nxt = {v: 0.0 for v in vertices}
+        dangling_mass = 0.0
+        for v, r in rank.items():
+            outs = adjacency.get(v)
+            if not outs:
+                dangling_mass += r
+                continue
+            share = r / len(outs)
+            for dst in outs:
+                nxt[dst] += share
+        base = (1.0 - damping) / n + damping * dangling_mass / n
+        rank = {v: base + damping * nxt[v] for v in vertices}
+    return rank

@@ -1,0 +1,102 @@
+"""The REST interface: submit JSON job documents, get JSON results.
+
+Two layers:
+
+* :class:`RheemService` — the transport-free core: ``submit(document)``
+  builds, optimizes and executes the dataflow and returns a JSON-ready
+  response (results, simulated runtime, chosen platforms, dollar price).
+* :func:`wsgi_app` — a standard WSGI wrapper (``POST /jobs``), usable with
+  any WSGI server or called directly in tests; no sockets required.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.context import RheemContext
+from ..core.objectives import monetary, price_of
+from ..core.optimizer import OptimizationError
+from ..latin.translator import resolve_platform
+from ..simulation.cluster import SimulatedOutOfMemory
+from .serde import PlanDocumentError, build_quanta
+
+
+class RheemService:
+    """Executes JSON job documents against one context."""
+
+    def __init__(self, ctx: RheemContext | None = None,
+                 env: dict[str, Any] | None = None) -> None:
+        self.ctx = ctx or RheemContext()
+        self.env = dict(env or {})
+
+    def submit(self, document: dict) -> dict:
+        """Run one job document; always returns a JSON-ready dict.
+
+        Response shape: ``{"status": "ok", "output": [...], "runtime": s,
+        "platforms": [...], "price_usd": d}`` or ``{"status": "error",
+        "error": "...", "kind": "..."}``.
+        """
+        try:
+            quanta = build_quanta(self.ctx, document, self.env)
+            execution = document.get("execution", {})
+            kwargs: dict[str, Any] = {}
+            platforms = execution.get("platforms")
+            if platforms:
+                kwargs["allowed_platforms"] = {
+                    resolve_platform(p) for p in platforms} | {"driver"}
+            if execution.get("objective") == "monetary":
+                kwargs["objective"] = monetary()
+            if execution.get("progressive"):
+                kwargs["progressive"] = True
+            result = quanta.execute(**kwargs)
+        except (PlanDocumentError, OptimizationError, KeyError) as exc:
+            return {"status": "error", "kind": type(exc).__name__,
+                    "error": str(exc)}
+        except SimulatedOutOfMemory as exc:
+            return {"status": "error", "kind": "OutOfMemory",
+                    "error": str(exc)}
+        return {
+            "status": "ok",
+            "output": _jsonable(result.output),
+            "runtime": result.runtime,
+            "platforms": sorted(result.platforms),
+            "price_usd": price_of(result),
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce result payloads into JSON-compatible structures."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def wsgi_app(service: RheemService):
+    """A WSGI application exposing ``POST /jobs``."""
+
+    def app(environ, start_response):
+        if environ.get("REQUEST_METHOD") != "POST" or \
+                environ.get("PATH_INFO") != "/jobs":
+            start_response("404 Not Found",
+                           [("Content-Type", "application/json")])
+            return [b'{"status": "error", "error": "POST /jobs only"}']
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+            body = environ["wsgi.input"].read(length)
+            document = json.loads(body)
+        except (ValueError, KeyError) as exc:
+            start_response("400 Bad Request",
+                           [("Content-Type", "application/json")])
+            return [json.dumps({"status": "error",
+                                "error": f"bad JSON: {exc}"}).encode()]
+        response = service.submit(document)
+        status = "200 OK" if response["status"] == "ok" else "400 Bad Request"
+        start_response(status, [("Content-Type", "application/json")])
+        return [json.dumps(response).encode()]
+
+    return app

@@ -1,0 +1,38 @@
+"""Applications built on top of the cross-platform core (Section 2)."""
+
+from .bigdansing import BigDansing, Fix, Rule, tax_rule
+from .dataciv import (
+    Q5Outcome,
+    find_similar_columns,
+    q5_quanta,
+    run_all_into_pgres,
+    run_all_on_spark,
+    run_polystore,
+)
+from .ml4all import Algorithm, ML4all, kmeans, logistic_sgd, sgd_hinge
+from .xdb import XdbQuery, crocopr, crocopr_quanta
+from .xdb_sql import SqlError, run_sql, sql_query
+
+__all__ = [
+    "BigDansing",
+    "Fix",
+    "Rule",
+    "tax_rule",
+    "Q5Outcome",
+    "find_similar_columns",
+    "q5_quanta",
+    "run_all_into_pgres",
+    "run_all_on_spark",
+    "run_polystore",
+    "Algorithm",
+    "ML4all",
+    "kmeans",
+    "logistic_sgd",
+    "sgd_hinge",
+    "XdbQuery",
+    "crocopr",
+    "crocopr_quanta",
+    "SqlError",
+    "run_sql",
+    "sql_query",
+]

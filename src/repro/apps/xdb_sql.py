@@ -1,0 +1,199 @@
+"""A small declarative (SQL) front end for xDB.
+
+The paper's xDB "provides a declarative language to compose data analytic
+tasks, while its optimizer produces a plan to be executed in Rheem".  This
+module implements the query subset the evaluation workloads need::
+
+    SELECT nationkey, SUM(acctbal) FROM customer
+    WHERE acctbal >= 1000 AND nationkey <= 10
+    GROUP BY nationkey
+
+    SELECT c.name FROM customer c JOIN nation n ON c.nationkey = n.nationkey
+    WHERE n.regionkey = 2
+
+Supported: projections, ``SUM`` aggregates with ``GROUP BY``, inner joins
+on column equality, and conjunctive range/equality predicates.  The parsed
+query compiles onto Rheem operators via :class:`repro.apps.xdb.XdbQuery`;
+the cross-platform optimizer decides where each piece runs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..core.context import RheemContext
+from ..core.executor import ExecutionResult
+from .xdb import XdbQuery
+
+
+class SqlError(ValueError):
+    """Raised on queries outside the supported subset."""
+
+
+_TOKEN = re.compile(r"""
+    \s*(
+        [A-Za-z_][A-Za-z0-9_.]* |   # identifiers (possibly qualified)
+        -?\d+\.?\d* |               # numbers
+        '[^']*' |                   # strings
+        [(),=] | >= | <= | > | <
+    )
+""", re.VERBOSE)
+
+
+def _tokenize(sql: str) -> list[str]:
+    tokens, pos = [], 0
+    sql = sql.strip().rstrip(";")
+    while pos < len(sql):
+        match = _TOKEN.match(sql, pos)
+        if not match:
+            raise SqlError(f"cannot tokenize at: {sql[pos:pos + 20]!r}")
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+@dataclass
+class _Query:
+    select: list[str] = field(default_factory=list)
+    aggregate: tuple[str, str] | None = None  # (SUM column, group column)
+    tables: list[tuple[str, str]] = field(default_factory=list)  # (name, alias)
+    joins: list[tuple[str, str]] = field(default_factory=list)   # (left, right)
+    predicates: list[tuple[str, str, object]] = field(default_factory=list)
+    group_by: str | None = None
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self, keyword: str | None = None) -> str:
+        """Consume the next token; with ``keyword``, require that literal."""
+        token = self.peek()
+        if token is None:
+            raise SqlError(f"unexpected end of query, expected {keyword}")
+        if keyword is not None and token.upper() != keyword:
+            raise SqlError(f"expected {keyword}, got {token!r}")
+        self.pos += 1
+        return token
+
+    def take(self, what: str) -> str:
+        """Consume any token (``what`` only labels error messages)."""
+        token = self.peek()
+        if token is None:
+            raise SqlError(f"unexpected end of query, expected {what}")
+        self.pos += 1
+        return token
+
+    def accept(self, keyword: str) -> bool:
+        token = self.peek()
+        if token is not None and token.upper() == keyword:
+            self.pos += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------- grammar
+    def parse(self) -> _Query:
+        q = _Query()
+        self.next("SELECT")
+        while True:
+            token = self.take("select item")
+            if token.upper() == "SUM":
+                self.next("(")
+                column = self.take("aggregate column")
+                self.next(")")
+                q.aggregate = (column, "")
+            else:
+                q.select.append(token)
+            if not self.accept(","):
+                break
+        self.next("FROM")
+        q.tables.append(self._table())
+        while self.accept("JOIN"):
+            q.tables.append(self._table())
+            self.next("ON")
+            left = self.take("join column")
+            self.next("=")
+            right = self.take("join column")
+            q.joins.append((left, right))
+        if self.accept("WHERE"):
+            while True:
+                column = self.take("predicate column")
+                op = self.take("comparison")
+                if op not in ("=", ">=", "<=", ">", "<"):
+                    raise SqlError(f"unsupported comparison {op!r}")
+                q.predicates.append((column, op, _value(self.take("value"))))
+                if not self.accept("AND"):
+                    break
+        if self.accept("GROUP"):
+            self.next("BY")
+            q.group_by = self.take("group column")
+        if self.peek() is not None:
+            raise SqlError(f"trailing tokens from {self.peek()!r}")
+        return q
+
+    def _table(self) -> tuple[str, str]:
+        name = self.take("table name")
+        alias = name
+        token = self.peek()
+        if token is not None and token.upper() not in (
+                "JOIN", "WHERE", "GROUP", "ON") and token not in (",",):
+            alias = self.next()
+        return (name, alias)
+
+
+def _value(token: str):
+    if token.startswith("'"):
+        return token[1:-1]
+    return float(token) if "." in token else int(token)
+
+
+def _column(qualified: str) -> str:
+    """Strip a table/alias qualifier (rows merge into one dict on join)."""
+    return qualified.split(".")[-1]
+
+
+def parse_sql(sql: str) -> _Query:
+    """Parse a query in the supported subset (exposed for tests)."""
+    return _Parser(_tokenize(sql)).parse()
+
+
+def sql_query(ctx: RheemContext, sql: str) -> XdbQuery:
+    """Compile a SQL string into an :class:`XdbQuery` (not yet executed)."""
+    q = parse_sql(sql)
+    query = XdbQuery(ctx, q.tables[0][0])
+    for (name, __alias), (left, right) in zip(q.tables[1:], q.joins):
+        query = query.join(XdbQuery(ctx, name), _column(left),
+                           _column(right))
+    for column, op, value in q.predicates:
+        col = _column(column)
+        if op == "=":
+            query = query.where(col, value, value)
+        elif op in (">=", ">"):
+            low = value if op == ">=" else value + _epsilon(value)
+            query = query.where(col, low, None)
+        else:
+            high = value if op == "<=" else value - _epsilon(value)
+            query = query.where(col, None, high)
+    if q.group_by is not None:
+        if q.aggregate is None:
+            raise SqlError("GROUP BY requires a SUM(...) aggregate")
+        agg_col = _column(q.aggregate[0])
+        query = query.group_sum(_column(q.group_by),
+                                lambda r, __c=agg_col: r[__c])
+    elif q.select and q.select != ["*"]:
+        query = query.select(*[_column(c) for c in q.select])
+    return query
+
+
+def _epsilon(value):
+    return 1 if isinstance(value, int) else 1e-9
+
+
+def run_sql(ctx: RheemContext, sql: str, **execute_kwargs) -> ExecutionResult:
+    """Parse, compile and execute a SQL query through Rheem."""
+    return sql_query(ctx, sql).run(**execute_kwargs)

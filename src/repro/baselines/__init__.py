@@ -1,0 +1,21 @@
+"""Comparator systems the paper benchmarks Rheem against, reimplemented
+as faithful execution-discipline models over the same simulated cluster."""
+
+from .mlsystems import MLBaselineOutcome, mllib_sgd, systemml_sgd
+from .musketeer import MusketeerOutcome, MusketeerRunner
+from .nadeef import NadeefOutcome
+from .nadeef import detect as nadeef_detect
+from .sparksql import SparkSqlOutcome
+from .sparksql import detect as sparksql_detect
+
+__all__ = [
+    "MLBaselineOutcome",
+    "mllib_sgd",
+    "systemml_sgd",
+    "MusketeerOutcome",
+    "MusketeerRunner",
+    "NadeefOutcome",
+    "nadeef_detect",
+    "SparkSqlOutcome",
+    "sparksql_detect",
+]

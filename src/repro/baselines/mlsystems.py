@@ -1,0 +1,63 @@
+"""MLlib- and SystemML-style baselines for Figure 2(b).
+
+Both run the *same SGD algorithm* as ML4all, but purely on the Spark analog:
+
+* **MLlib-style** — the whole plan (including the per-iteration sampling,
+  which scans the dataset) stays on sparklite; every iteration pays Spark
+  job overheads.
+* **SystemML-style** — additionally pays a per-iteration program
+  recompilation/codegen overhead, and densifies the data into matrix blocks
+  whose footprint blows up on wide synthetic data (the paper's
+  out-of-memory cross on the "synthetic" dataset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.ml4all import Algorithm, ML4all
+from ..core.context import RheemContext
+from ..simulation.cluster import SimulatedOutOfMemory
+
+#: SystemML-style per-iteration recompilation/codegen overhead (seconds).
+SYSTEMML_ITERATION_OVERHEAD_S = 0.4
+#: Densification blow-up factor over the raw simulated bytes.
+SYSTEMML_DENSIFY_FACTOR = 12.0
+
+
+@dataclass
+class MLBaselineOutcome:
+    runtime: float
+    weights: tuple | None
+    oom: bool = False
+
+
+def mllib_sgd(ctx: RheemContext, data_path: str, algorithm: Algorithm,
+              iterations: int = 100, sample_size: int = 10
+              ) -> MLBaselineOutcome:
+    """Pure-Spark SGD with scan-based sampling."""
+    result = ML4all(ctx).train(
+        data_path, algorithm, iterations=iterations, sample_size=sample_size,
+        sample_method="random",  # MLlib's takeSample scans the data
+        allowed_platforms={"sparklite", "driver"})
+    return MLBaselineOutcome(result.runtime, result.output[0])
+
+
+def systemml_sgd(ctx: RheemContext, data_path: str, algorithm: Algorithm,
+                 iterations: int = 100, sample_size: int = 10
+                 ) -> MLBaselineOutcome:
+    """SystemML-style: pure Spark + recompilation + dense matrix blocks.
+
+    Raises no exception on the simulated OOM — it is reported in the
+    outcome, the way the paper reports the crossed-out bar.
+    """
+    vf = ctx.vfs.read(data_path)
+    dense_mb = vf.sim_mb * SYSTEMML_DENSIFY_FACTOR
+    try:
+        ctx.cluster.check_memory("sparklite", dense_mb)
+    except SimulatedOutOfMemory:
+        return MLBaselineOutcome(float("nan"), None, oom=True)
+    base = mllib_sgd(ctx, data_path, algorithm, iterations, sample_size)
+    return MLBaselineOutcome(
+        base.runtime + iterations * SYSTEMML_ITERATION_OVERHEAD_S,
+        base.weights)

@@ -1,0 +1,40 @@
+"""A SparkSQL-style cleaning baseline for Figure 2(a).
+
+SparkSQL cannot process inequality joins efficiently: an inequality-only
+join predicate falls back to a cartesian product filtered row by row.  We
+express the detection exactly that way (CartesianProduct + Filter) and pin
+it to the Spark analog; beyond a size threshold the run is "killed" like
+the paper's 40-hour cut-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.bigdansing import BigDansing, Rule
+from ..core.context import DataQuanta, RheemContext
+
+#: The paper stops baselines after 40 hours.
+KILL_AFTER_S = 40 * 3600.0
+
+
+@dataclass
+class SparkSqlOutcome:
+    runtime: float
+    violations: list
+    killed: bool = False
+
+
+def detect(ctx: RheemContext, data: DataQuanta, rule: Rule,
+           sim_rows: float) -> SparkSqlOutcome:
+    """Run detection as a cartesian join on the Spark analog."""
+    spark = ctx.cluster.profile("sparklite")
+    # The cartesian pass alone costs at least this much; don't bother
+    # executing the quadratic materialization when it is hopeless.
+    lower_bound = spark.cpu_seconds(sim_rows * sim_rows)
+    if lower_bound > KILL_AFTER_S:
+        return SparkSqlOutcome(KILL_AFTER_S, [], killed=True)
+    result = BigDansing(ctx).detect(
+        data, rule, method="cartesian",
+        allowed_platforms={"sparklite", "driver"})
+    return SparkSqlOutcome(result.runtime, result.output)

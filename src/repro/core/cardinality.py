@@ -1,0 +1,116 @@
+"""Interval-based cardinality estimates (Section 4.1 of the paper).
+
+Rheem represents cardinalities (and costs) as intervals with a confidence
+value; wide or low-confidence estimates trigger optimization checkpoints for
+the progressive optimizer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CardinalityEstimate:
+    """An estimated number of data quanta crossing a plan edge.
+
+    Attributes:
+        lower: Lower bound (simulated records).
+        upper: Upper bound (simulated records).
+        confidence: Probability mass the optimizer assigns to the interval
+            actually containing the true cardinality, in ``[0, 1]``.
+    """
+
+    lower: float
+    upper: float
+    confidence: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.lower < 0 or self.upper < self.lower:
+            raise ValueError(f"invalid interval [{self.lower}, {self.upper}]")
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(f"confidence must be in [0,1], got {self.confidence}")
+
+    @classmethod
+    def exact(cls, value: float) -> "CardinalityEstimate":
+        """A measured (fully confident, zero-width) cardinality."""
+        return cls(value, value, 1.0)
+
+    @property
+    def geometric_mean(self) -> float:
+        """Point estimate used for cost comparisons."""
+        if self.lower <= 0:
+            return (self.lower + self.upper) / 2
+        return math.sqrt(self.lower * self.upper)
+
+    @property
+    def is_exact(self) -> bool:
+        return self.lower == self.upper and self.confidence >= 1.0
+
+    @property
+    def spread(self) -> float:
+        """Relative interval width; 0 for exact estimates."""
+        if self.upper == 0:
+            return 0.0
+        return (self.upper - self.lower) / self.upper
+
+    def scale(self, factor: float, confidence_decay: float = 1.0) -> "CardinalityEstimate":
+        """Multiply the interval by ``factor``, optionally decaying confidence."""
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        return CardinalityEstimate(
+            self.lower * factor,
+            self.upper * factor,
+            self.confidence * confidence_decay,
+        )
+
+    def widen(self, lower_factor: float, upper_factor: float,
+              confidence: float | None = None) -> "CardinalityEstimate":
+        """Stretch the interval asymmetrically (uncertain selectivities)."""
+        return CardinalityEstimate(
+            self.lower * lower_factor,
+            self.upper * upper_factor,
+            self.confidence if confidence is None else confidence,
+        )
+
+    def plus(self, other: "CardinalityEstimate") -> "CardinalityEstimate":
+        """Interval sum (e.g. for Union)."""
+        return CardinalityEstimate(
+            self.lower + other.lower,
+            self.upper + other.upper,
+            min(self.confidence, other.confidence),
+        )
+
+    def times(self, other: "CardinalityEstimate") -> "CardinalityEstimate":
+        """Interval product (e.g. for joins before selectivity)."""
+        return CardinalityEstimate(
+            self.lower * other.lower,
+            self.upper * other.upper,
+            min(self.confidence, other.confidence),
+        )
+
+    def mismatches(self, actual: float, tolerance: float = 2.0) -> bool:
+        """Whether a measured cardinality is badly outside this estimate.
+
+        The progressive optimizer re-plans when the truth lies more than a
+        ``tolerance`` factor outside the interval.
+        """
+        lo = self.lower / tolerance
+        hi = self.upper * tolerance
+        return not (lo <= actual <= hi)
+
+    def __str__(self) -> str:
+        return f"[{self.lower:.0f}..{self.upper:.0f}]@{self.confidence:.0%}"
+
+
+#: Default selectivities used when the application supplies none (the paper:
+#: "Rheem comes with default selectivity values in case they are not
+#: provided").
+DEFAULT_FILTER_SELECTIVITY = 0.5
+DEFAULT_FLATMAP_EXPANSION = 1.0
+DEFAULT_JOIN_SELECTIVITY = 1e-4
+DEFAULT_DISTINCT_RATIO = 0.7
+DEFAULT_GROUP_RATIO = 0.1
+#: Confidence attached to estimates derived from default selectivities.
+DEFAULT_CONFIDENCE = 0.5

@@ -1,0 +1,391 @@
+"""Communication channels and the channel conversion graph (Section 3).
+
+Data flows between execution operators via typed *channels* (an in-memory
+collection, an RDD, a relation, a file...).  When adjacent operators run on
+different platforms, *conversion operators* translate one channel into
+another.  The space of conversions forms the **channel conversion graph**:
+channels are vertices, conversions are directed edges.  The optimizer finds
+minimum-cost conversion paths (and multicast trees, when one producer feeds
+consumers on several platforms) over this graph — the paper proves the
+multicast variant NP-hard and solves it exactly on the small graph via a
+Steiner-tree style dynamic program, which we implement here
+(Dreyfus-Wagner with a reusability constraint on branching nodes).
+
+Adding a platform only requires conversions to/from ONE existing channel;
+the graph supplies the rest.  This is the paper's O(n) vs O(n*m)
+extensibility argument, exercised by an ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .execution import ExecutionContext
+
+
+class ChannelConversionError(RuntimeError):
+    """Raised when no conversion path/tree connects the requested channels."""
+
+
+@dataclass(frozen=True)
+class ChannelDescriptor:
+    """A channel *type*.
+
+    Attributes:
+        name: Unique key, e.g. ``"sparklite.rdd"``.
+        platform: Owning platform name, or ``None`` for platform-neutral
+            channels (files).
+        reusable: Whether the channel can feed several consumers without
+            being re-materialized (paper: RDDs are not, collections and
+            files are).
+        in_memory: Whether the channel occupies the platform's memory
+            (files and disk-backed relations do not; the executor's memory
+            checks skip them).
+    """
+
+    name: str
+    platform: str | None
+    reusable: bool
+    in_memory: bool = True
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# Platform-neutral channels.
+HDFS_FILE = ChannelDescriptor("vfs.hdfs", None, True, in_memory=False)
+LOCAL_FILE = ChannelDescriptor("vfs.local", None, True, in_memory=False)
+
+
+@dataclass
+class Channel:
+    """A channel *instance*: a descriptor plus a concrete payload.
+
+    Attributes:
+        descriptor: The channel type.
+        payload: Engine-specific data (list, RDD, relation name, path...).
+        sim_factor: Simulated records per actual record (see
+            :mod:`repro.simulation.vfs`).
+        bytes_per_record: Simulated bytes per simulated record.
+        actual_count: Number of actual records, when known (lazy payloads
+            may not know until materialized).
+    """
+
+    descriptor: ChannelDescriptor
+    payload: Any
+    sim_factor: float = 1.0
+    bytes_per_record: float = 100.0
+    actual_count: int | None = None
+
+    @property
+    def sim_cardinality(self) -> float:
+        """Simulated record count, if the actual count is known."""
+        if self.actual_count is None:
+            raise ValueError(f"cardinality of {self.descriptor} not yet measured")
+        return self.actual_count * self.sim_factor
+
+    @property
+    def sim_mb(self) -> float:
+        """Simulated payload size in MB."""
+        return self.sim_cardinality * self.bytes_per_record / 1e6
+
+    def with_payload(self, payload: Any, descriptor: ChannelDescriptor | None = None,
+                     actual_count: int | None = None) -> "Channel":
+        """A sibling channel carrying ``payload`` (metadata preserved)."""
+        return Channel(
+            descriptor or self.descriptor,
+            payload,
+            self.sim_factor,
+            self.bytes_per_record,
+            actual_count,
+        )
+
+
+class Conversion:
+    """A directed edge of the channel conversion graph.
+
+    Concrete conversions supply a payload translation plus a cost model.
+    They are "regular execution operators" in the paper's terms; the
+    executor interleaves them with platform operators.
+    """
+
+    def __init__(
+        self,
+        source: ChannelDescriptor,
+        target: ChannelDescriptor,
+        convert_payload: Callable[[Channel, "ExecutionContext"], Channel],
+        mb_per_s: float,
+        overhead_s: float = 0.0,
+        name: str | None = None,
+    ) -> None:
+        self.source = source
+        self.target = target
+        self._convert_payload = convert_payload
+        self.mb_per_s = mb_per_s
+        self.overhead_s = overhead_s
+        self.name = name or f"{source.name}->{target.name}"
+
+    def estimate_cost(self, sim_records: float, bytes_per_record: float) -> float:
+        """Estimated simulated seconds to move the given data volume."""
+        mb = sim_records * bytes_per_record / 1e6
+        return self.overhead_s + mb / self.mb_per_s
+
+    def apply(self, channel: Channel, ctx: "ExecutionContext") -> Channel:
+        """Execute the conversion, charging the stage meter."""
+        if channel.descriptor != self.source:
+            raise ChannelConversionError(
+                f"{self.name} cannot convert a {channel.descriptor} channel")
+        out = self._convert_payload(channel, ctx)
+        if out.actual_count is not None:
+            ctx.meter.charge(
+                self.estimate_cost(out.sim_cardinality, out.bytes_per_record),
+                f"convert:{self.name}",
+                category="net",
+            )
+        else:
+            ctx.meter.charge(self.overhead_s, f"convert:{self.name}", category="net")
+        return out
+
+    def __repr__(self) -> str:
+        return f"Conversion({self.name})"
+
+
+@dataclass
+class ConversionPath:
+    """A source-to-target chain of conversions."""
+
+    steps: list[Conversion]
+    cost: float
+
+    @property
+    def target(self) -> ChannelDescriptor | None:
+        return self.steps[-1].target if self.steps else None
+
+    def apply(self, channel: Channel, ctx: "ExecutionContext") -> Channel:
+        for step in self.steps:
+            channel = step.apply(channel, ctx)
+        return channel
+
+
+@dataclass
+class ConversionTree:
+    """A multicast conversion tree rooted at the produced channel.
+
+    ``paths`` maps each requested target descriptor to the conversion chain
+    reaching it; shared prefixes are stored once in ``shared_steps`` order
+    so execution does not repeat work.
+    """
+
+    root: ChannelDescriptor
+    paths: dict[str, ConversionPath]
+    cost: float
+
+    def apply(self, channel: Channel, ctx: "ExecutionContext") -> dict[str, Channel]:
+        """Convert ``channel`` once per shared edge; return per-target channels."""
+        produced: dict[str, Channel] = {self.root.name: channel}
+        out: dict[str, Channel] = {}
+        for target_name, path in self.paths.items():
+            current = channel
+            key = self.root.name
+            for step in path.steps:
+                key = key + "|" + step.target.name
+                if key in produced:
+                    current = produced[key]
+                else:
+                    current = step.apply(current, ctx)
+                    produced[key] = current
+            out[target_name] = current
+        return out
+
+
+class ChannelConversionGraph:
+    """Registry of channels and conversions with path/tree search."""
+
+    def __init__(self) -> None:
+        self._descriptors: dict[str, ChannelDescriptor] = {}
+        self._edges: dict[str, list[Conversion]] = {}
+        self.register_channel(HDFS_FILE)
+        self.register_channel(LOCAL_FILE)
+
+    # ------------------------------------------------------------- registry
+    def register_channel(self, desc: ChannelDescriptor) -> None:
+        existing = self._descriptors.get(desc.name)
+        if existing is not None and existing != desc:
+            raise ValueError(f"conflicting descriptor registration for {desc.name}")
+        self._descriptors[desc.name] = desc
+        self._edges.setdefault(desc.name, [])
+
+    def register_conversion(self, conv: Conversion) -> None:
+        self.register_channel(conv.source)
+        self.register_channel(conv.target)
+        self._edges[conv.source.name].append(conv)
+
+    def descriptor(self, name: str) -> ChannelDescriptor:
+        try:
+            return self._descriptors[name]
+        except KeyError:
+            raise ChannelConversionError(f"unknown channel {name!r}") from None
+
+    def descriptors(self) -> list[ChannelDescriptor]:
+        return list(self._descriptors.values())
+
+    def conversions_from(self, name: str) -> list[Conversion]:
+        return list(self._edges.get(name, []))
+
+    # ------------------------------------------------------------ searching
+    def cheapest_path(
+        self,
+        source: ChannelDescriptor,
+        target: ChannelDescriptor,
+        sim_records: float,
+        bytes_per_record: float = 100.0,
+    ) -> ConversionPath:
+        """Dijkstra over the conversion graph for a single consumer.
+
+        Raises:
+            ChannelConversionError: If the target is unreachable.
+        """
+        if source.name == target.name:
+            return ConversionPath([], 0.0)
+        dist: dict[str, float] = {source.name: 0.0}
+        back: dict[str, tuple[str, Conversion]] = {}
+        heap: list[tuple[float, str]] = [(0.0, source.name)]
+        visited: set[str] = set()
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == target.name:
+                break
+            for conv in self._edges.get(node, []):
+                weight = conv.estimate_cost(sim_records, bytes_per_record)
+                nd = d + weight
+                if nd < dist.get(conv.target.name, float("inf")):
+                    dist[conv.target.name] = nd
+                    back[conv.target.name] = (node, conv)
+                    heapq.heappush(heap, (nd, conv.target.name))
+        if target.name not in visited:
+            raise ChannelConversionError(
+                f"no conversion path from {source.name} to {target.name}")
+        steps: list[Conversion] = []
+        node = target.name
+        while node != source.name:
+            prev, conv = back[node]
+            steps.append(conv)
+            node = prev
+        steps.reverse()
+        return ConversionPath(steps, dist[target.name])
+
+    def multicast_tree(
+        self,
+        source: ChannelDescriptor,
+        targets: list[ChannelDescriptor],
+        sim_records: float,
+        bytes_per_record: float = 100.0,
+    ) -> ConversionTree:
+        """Minimum-cost conversion tree reaching all ``targets``.
+
+        Exact Steiner-tree dynamic program (Dreyfus-Wagner) over the small
+        conversion graph, with the constraint that branching may only happen
+        at *reusable* channels.  Single-target requests reduce to
+        :meth:`cheapest_path`.
+
+        Raises:
+            ChannelConversionError: If some target is unreachable.
+        """
+        unique = {t.name: t for t in targets}
+        names = sorted(unique)
+        if not names:
+            return ConversionTree(source, {}, 0.0)
+        if len(names) == 1:
+            path = self.cheapest_path(source, unique[names[0]], sim_records,
+                                      bytes_per_record)
+            return ConversionTree(source, {names[0]: path}, path.cost)
+
+        # All-pairs shortest paths among relevant nodes via repeated Dijkstra.
+        nodes = list(self._descriptors)
+        paths: dict[str, dict[str, ConversionPath]] = {}
+        for start in nodes:
+            paths[start] = {}
+            for end in nodes:
+                try:
+                    paths[start][end] = self.cheapest_path(
+                        self._descriptors[start], self._descriptors[end],
+                        sim_records, bytes_per_record)
+                except ChannelConversionError:
+                    continue
+
+        full = (1 << len(names)) - 1
+        index = {name: i for i, name in enumerate(names)}
+        inf = float("inf")
+        # dp[mask][node] = min cost of a tree rooted at node covering mask.
+        dp: list[dict[str, float]] = [dict() for _ in range(full + 1)]
+        choice: list[dict[str, tuple]] = [dict() for _ in range(full + 1)]
+        for name in names:
+            mask = 1 << index[name]
+            for node in nodes:
+                if name in paths.get(node, {}):
+                    dp[mask][node] = paths[node][name].cost
+                    choice[mask][node] = ("path", name)
+        for mask in range(1, full + 1):
+            if mask & (mask - 1) == 0:
+                continue  # singletons done above
+            # Merge two sub-trees at a reusable node.
+            sub = (mask - 1) & mask
+            while sub:
+                rest = mask ^ sub
+                if sub < rest:  # avoid symmetric duplicates
+                    for node in nodes:
+                        if not self._descriptors[node].reusable:
+                            continue
+                        a = dp[sub].get(node, inf)
+                        b = dp[rest].get(node, inf)
+                        if a + b < dp[mask].get(node, inf):
+                            dp[mask][node] = a + b
+                            choice[mask][node] = ("merge", sub, rest)
+                sub = (sub - 1) & mask
+            # Extend: reach the merge node from elsewhere.
+            for node in nodes:
+                base = dp[mask].get(node)
+                if base is None:
+                    continue
+                for start in nodes:
+                    if node in paths.get(start, {}):
+                        cost = paths[start][node].cost + base
+                        if cost < dp[mask].get(start, inf):
+                            dp[mask][start] = cost
+                            choice[mask][start] = ("via", node)
+        total = dp[full].get(source.name)
+        if total is None:
+            missing = [n for n in names
+                       if n not in paths.get(source.name, {})]
+            raise ChannelConversionError(
+                f"no conversion tree from {source.name} to {names}"
+                + (f" (unreachable: {missing})" if missing else ""))
+
+        # Reconstruct per-target conversion chains.
+        target_paths: dict[str, ConversionPath] = {}
+
+        def build(mask: int, node: str, prefix: list[Conversion],
+                  prefix_cost: float) -> None:
+            what = choice[mask][node]
+            if what[0] == "path":
+                name = what[1]
+                p = paths[node][name]
+                target_paths[name] = ConversionPath(
+                    prefix + p.steps, prefix_cost + p.cost)
+            elif what[0] == "merge":
+                __, sub, rest = what
+                build(sub, node, list(prefix), prefix_cost)
+                build(rest, node, list(prefix), prefix_cost)
+            else:  # via
+                mid = what[1]
+                p = paths[node][mid]
+                build(mask, mid, prefix + p.steps, prefix_cost + p.cost)
+
+        build(full, source.name, [], 0.0)
+        return ConversionTree(source, target_paths, total)

@@ -1,0 +1,425 @@
+"""The public entry point: :class:`RheemContext` and the fluent
+:class:`DataQuanta` API.
+
+A context bundles the virtual cluster, the registered platforms (channels,
+conversions, operator mappings), the relational catalog, the cost model and
+the optimizer/executor plumbing.  Applications build plans either from raw
+operators (:mod:`repro.core.operators`) or through the fluent API::
+
+    ctx = RheemContext()
+    ctx.vfs.write("hdfs://data/lines.txt", ["a b", "b a"], sim_factor=1.0)
+    counts = (ctx.read_text_file("hdfs://data/lines.txt")
+                 .flat_map(str.split)
+                 .map(lambda w: (w, 1))
+                 .reduce_by_key(lambda t: t[0],
+                                lambda a, b: (a[0], a[1] + b[1]))
+                 .collect())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from ..platforms import builtin_platforms
+from ..platforms.pgres.engine import PgresDatabase
+from ..simulation.cluster import VirtualCluster
+from . import operators as ops
+from .cardinality import CardinalityEstimate
+from .channels import ChannelConversionGraph
+from .cost import CostModel, OperatorCostParams
+from .executor import ExecutionResult, Executor, Sniffer
+from .mappings import MappingRegistry
+from .operators import EstimationContext, InequalityCondition, Operator
+from .optimizer import Optimizer
+from .plan import RheemPlan
+from .progressive import ProgressiveReport, channel_source_mapping, \
+    execute_progressively
+
+
+class RheemContext:
+    """One cross-platform processing context (the paper's Rheem instance).
+
+    Args:
+        cluster: Virtual cluster to run on (fresh default if omitted).
+        platforms: Platform instances to register (all built-ins by
+            default).  Registering fewer simulates a smaller installation.
+        cost_params: Learned cost-model parameters (from
+            :mod:`repro.learn`); ``None`` uses the calibrated defaults.
+        config: Job configuration (e.g. ``{"seed": 7}``).
+    """
+
+    def __init__(
+        self,
+        cluster: VirtualCluster | None = None,
+        platforms: Sequence | None = None,
+        cost_params: dict[str, OperatorCostParams] | None = None,
+        config: dict[str, Any] | None = None,
+    ) -> None:
+        self.cluster = cluster or VirtualCluster()
+        self.pgres = PgresDatabase()
+        self.platforms = list(platforms if platforms is not None
+                              else builtin_platforms())
+        self.registry = MappingRegistry()
+        self.graph = ChannelConversionGraph()
+        for platform in self.platforms:
+            for channel in platform.channels():
+                self.graph.register_channel(channel)
+            for conversion in platform.conversions():
+                self.graph.register_conversion(conversion)
+            self.registry.register_all(platform.mappings())
+        self.registry.register(channel_source_mapping())
+        self.cost_model = CostModel(self.cluster, cost_params)
+        self.config = {"seed": 42}
+        self.config.update(config or {})
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def vfs(self):
+        """The virtual file system (``hdfs://`` and ``file://`` stores)."""
+        return self.cluster.vfs
+
+    def estimation_context(
+        self, overrides: dict[int, CardinalityEstimate] | None = None
+    ) -> EstimationContext:
+        """Source metadata for cardinality estimation (catalog + VFS)."""
+        return EstimationContext(
+            vfs=self.vfs,
+            table_cardinalities=self.pgres.analyze(),
+            table_bytes=self.pgres.row_bytes(),
+            overrides=dict(overrides or {}),
+        )
+
+    def optimizer(
+        self,
+        allowed_platforms: set[str] | None = None,
+        overrides: dict[int, CardinalityEstimate] | None = None,
+        objective=None,
+    ) -> Optimizer:
+        """A cross-platform optimizer bound to this context's registries."""
+        return Optimizer(
+            registry=self.registry,
+            conversion_graph=self.graph,
+            cost_model=self.cost_model,
+            estimation_ctx=self.estimation_context(overrides),
+            allowed_platforms=allowed_platforms,
+            objective=objective,
+        )
+
+    def executor(self) -> Executor:
+        """An executor bound to this context's cluster and engines."""
+        return Executor(self.cluster, self.graph, pgres=self.pgres,
+                        config=self.config)
+
+    # ------------------------------------------------------------ execution
+    def execute(
+        self,
+        plan: RheemPlan,
+        allowed_platforms: set[str] | None = None,
+        progressive: bool = False,
+        sniffers: Sequence[Sniffer] = (),
+        tolerance: float = 2.0,
+        fault_injector=None,
+        max_stage_retries: int = 2,
+        objective=None,
+    ) -> ExecutionResult:
+        """Optimize and run a plan; returns sink payloads and timings.
+
+        With ``progressive=True`` the job pauses at optimization
+        checkpoints when measured cardinalities contradict the estimates
+        and re-optimizes the remainder (Section 4.4).  A ``fault_injector``
+        (see :mod:`repro.core.faults`) simulates platform crashes, which
+        the executor survives by re-running stages from their materialized
+        inputs.
+        """
+        if progressive:
+            report = self.execute_progressive(
+                plan, allowed_platforms=allowed_platforms,
+                tolerance=tolerance, sniffers=list(sniffers))
+            return report.result
+        optimizer = self.optimizer(allowed_platforms, objective=objective)
+        best, cards = optimizer.pick_best(plan)
+        exec_plan = optimizer._build_execution_plan(plan, best)
+        return self.executor().execute(exec_plan, estimates=cards,
+                                       sniffers=list(sniffers),
+                                       fault_injector=fault_injector,
+                                       max_stage_retries=max_stage_retries)
+
+    def execute_progressive(
+        self,
+        plan: RheemPlan,
+        allowed_platforms: set[str] | None = None,
+        tolerance: float = 2.0,
+        max_replans: int = 5,
+        sniffers: Sequence[Sniffer] = (),
+    ) -> ProgressiveReport:
+        """Run with progressive optimization; reports the re-plan count."""
+        return execute_progressively(
+            plan,
+            make_optimizer=lambda overrides: self.optimizer(
+                allowed_platforms, overrides),
+            executor=self.executor(),
+            tolerance=tolerance,
+            max_replans=max_replans,
+            sniffers=list(sniffers),
+        )
+
+    def execute_paused(self, plan: RheemPlan, break_after: set[int],
+                       allowed_platforms: set[str] | None = None):
+        """Exploratory mode: run until the given operators have produced
+        output, then pause (returns a
+        :class:`~repro.core.progressive.PausedJob`); finishes normally if
+        the breakpoint never splits the plan."""
+        from .progressive import execute_with_pause
+
+        return execute_with_pause(
+            plan,
+            make_optimizer=lambda overrides: self.optimizer(
+                allowed_platforms, overrides),
+            executor=self.executor(),
+            break_after=set(break_after),
+        )
+
+    def resume(self, paused, allowed_platforms: set[str] | None = None
+               ) -> ExecutionResult:
+        """Resume a paused exploratory job to completion."""
+        from .progressive import resume
+
+        return resume(
+            paused,
+            make_optimizer=lambda overrides: self.optimizer(
+                allowed_platforms, overrides),
+            executor=self.executor(),
+        )
+
+    # ------------------------------------------------------------ fluent API
+    def read_text_file(self, path: str) -> "DataQuanta":
+        """Start a plan from a (virtual) text file."""
+        return DataQuanta(self, ops.TextFileSource(path))
+
+    def load_collection(self, data: Iterable[Any], sim_factor: float = 1.0,
+                        bytes_per_record: float = 100.0) -> "DataQuanta":
+        """Start a plan from a driver-side collection."""
+        return DataQuanta(self, ops.CollectionSource(
+            data, sim_factor, bytes_per_record))
+
+    def read_table(self, table: str,
+                   projection: list[str] | None = None) -> "DataQuanta":
+        """Start a plan from a relation living in the Pgres catalog."""
+        return DataQuanta(self, ops.TableSource(table, projection))
+
+
+class DataQuanta:
+    """A fluent handle on one operator output within a plan under
+    construction (the paper's Scala/Java API analog)."""
+
+    def __init__(self, ctx: RheemContext, op: Operator) -> None:
+        self.ctx = ctx
+        self.op = op
+
+    # --------------------------------------------------------- unary steps
+    def _chain(self, op: Operator,
+               broadcasts: Sequence["DataQuanta"] = ()) -> "DataQuanta":
+        op.connect(0, self.op)
+        for dq in broadcasts:
+            op.broadcast(dq.op)
+        return DataQuanta(self.ctx, op)
+
+    def map(self, fn: Callable, name: str = "map",
+            broadcasts: Sequence["DataQuanta"] = (),
+            bytes_per_record: float | None = None) -> "DataQuanta":
+        """Transform each quantum with ``fn`` (1-to-1)."""
+        return self._chain(ops.Map(fn, name, bytes_per_record), broadcasts)
+
+    def flat_map(self, fn: Callable, name: str = "flatmap",
+                 broadcasts: Sequence["DataQuanta"] = (),
+                 bytes_per_record: float | None = None) -> "DataQuanta":
+        """Transform each quantum into zero or more quanta."""
+        return self._chain(ops.FlatMap(fn, name, bytes_per_record), broadcasts)
+
+    def filter(self, fn: Callable, name: str = "filter",
+               broadcasts: Sequence["DataQuanta"] = ()) -> "DataQuanta":
+        """Keep only quanta satisfying the predicate."""
+        return self._chain(ops.Filter(fn, name), broadcasts)
+
+    def map_partitions(self, fn: Callable, name: str = "map-partitions",
+                       broadcasts: Sequence["DataQuanta"] = (),
+                       bytes_per_record: float | None = None) -> "DataQuanta":
+        """Transform whole partitions with ``fn`` (``list -> list``)."""
+        return self._chain(ops.MapPartitions(fn, name, bytes_per_record),
+                           broadcasts)
+
+    def zip_with_id(self) -> "DataQuanta":
+        """Attach a unique id to each quantum: ``(id, quantum)``."""
+        return self._chain(ops.ZipWithId())
+
+    def filter_range(self, column: str, low: Any = None, high: Any = None,
+                     selectivity: float | None = None) -> "DataQuanta":
+        """Keep dict-shaped quanta with ``column`` in ``[low, high]``."""
+        return self._chain(ops.Filter.from_range(column, low, high,
+                                                 selectivity))
+
+    def sample(self, size: int | None = None, fraction: float | None = None,
+               method: str = "random",
+               broadcasts: Sequence["DataQuanta"] = ()) -> "DataQuanta":
+        """Draw a sample (fixed ``size`` or ``fraction``; see ``Sample``)."""
+        return self._chain(ops.Sample(size, fraction, method), broadcasts)
+
+    def distinct(self, key: Callable | None = None) -> "DataQuanta":
+        """Drop duplicate quanta (optionally by key)."""
+        return self._chain(ops.Distinct(key))
+
+    def sort(self, key: Callable | None = None,
+             descending: bool = False) -> "DataQuanta":
+        """Sort quanta by ``key``."""
+        return self._chain(ops.Sort(key, descending))
+
+    def group_by(self, key: Callable,
+                 sim_groups: float | None = None) -> "DataQuanta":
+        """Group quanta by key into ``(key, [members])`` pairs."""
+        return self._chain(ops.GroupBy(key, sim_groups=sim_groups))
+
+    def reduce_by_key(self, key: Callable, reducer: Callable,
+                      sim_groups: float | None = None) -> "DataQuanta":
+        """Aggregate quanta per key with an associative ``reducer``."""
+        return self._chain(ops.ReduceBy(key, reducer,
+                                        sim_groups=sim_groups))
+
+    def reduce(self, reducer: Callable) -> "DataQuanta":
+        """Fold ALL quanta into one with an associative ``reducer``."""
+        return self._chain(ops.GlobalReduce(reducer))
+
+    def count(self) -> "DataQuanta":
+        """Emit a single quantum: the number of input quanta."""
+        return self._chain(ops.Count())
+
+    def cache(self) -> "DataQuanta":
+        """Mark this dataset for reuse (loop-invariant inputs)."""
+        return self._chain(ops.Cache())
+
+    def pagerank(self, iterations: int = 10,
+                 damping: float = 0.85) -> "DataQuanta":
+        """Rank ``(src, dst)`` edge quanta; emits ``(vertex, rank)``."""
+        return self._chain(ops.PageRank(iterations, damping))
+
+    # -------------------------------------------------------- binary steps
+    def _chain2(self, op: Operator, other: "DataQuanta") -> "DataQuanta":
+        op.connect(0, self.op)
+        op.connect(1, other.op)
+        return DataQuanta(self.ctx, op)
+
+    def union(self, other: "DataQuanta") -> "DataQuanta":
+        """Bag union with another dataset."""
+        return self._chain2(ops.Union(), other)
+
+    def intersect(self, other: "DataQuanta") -> "DataQuanta":
+        """Set intersection with another dataset."""
+        return self._chain2(ops.Intersect(), other)
+
+    def join(self, other: "DataQuanta", left_key: Callable,
+             right_key: Callable, selectivity: float | None = None,
+             sim_mode: str = "linear") -> "DataQuanta":
+        """Equi-join with another dataset; emits ``(left, right)`` pairs."""
+        return self._chain2(
+            ops.Join(left_key, right_key, selectivity, sim_mode=sim_mode),
+            other)
+
+    def cartesian(self, other: "DataQuanta") -> "DataQuanta":
+        """Cross product with another dataset."""
+        return self._chain2(ops.CartesianProduct(), other)
+
+    def ie_join(self, other: "DataQuanta",
+                conditions: Sequence[InequalityCondition],
+                selectivity: float | None = None) -> "DataQuanta":
+        """Inequality join (the plugged-in fast IEJoin operator)."""
+        return self._chain2(ops.IEJoin(conditions, selectivity), other)
+
+    # --------------------------------------------------------------- loops
+    def repeat(self, iterations: int,
+               body: Callable[..., "DataQuanta"],
+               invariants: Sequence["DataQuanta"] = ()) -> "DataQuanta":
+        """Iterate ``body`` a fixed number of times.
+
+        ``body`` receives the loop variable plus one handle per invariant
+        input (all as body-scoped :class:`DataQuanta`) and returns the next
+        loop variable.
+        """
+        loop_inputs = [ops.LoopInput(i) for i in range(1 + len(invariants))]
+        handles = [DataQuanta(self.ctx, li) for li in loop_inputs]
+        out = body(*handles)
+        subplan = ops.SubPlan(loop_inputs, [ops.InputRef(out.op, 0)])
+        loop = ops.RepeatLoop(iterations, subplan,
+                              num_invariant_inputs=len(invariants))
+        loop.connect(0, self.op)
+        for i, dq in enumerate(invariants):
+            loop.connect(1 + i, dq.op)
+        return DataQuanta(self.ctx, loop)
+
+    def do_while(self, condition: Callable[[list], bool],
+                 body: Callable[..., "DataQuanta"],
+                 invariants: Sequence["DataQuanta"] = (),
+                 expected: int = 10,
+                 max_iterations: int = 10_000) -> "DataQuanta":
+        """Iterate ``body`` while ``condition(loop_var_records)`` holds."""
+        loop_inputs = [ops.LoopInput(i) for i in range(1 + len(invariants))]
+        handles = [DataQuanta(self.ctx, li) for li in loop_inputs]
+        out = body(*handles)
+        subplan = ops.SubPlan(loop_inputs, [ops.InputRef(out.op, 0)])
+        loop = ops.DoWhileLoop(condition, subplan,
+                               num_invariant_inputs=len(invariants),
+                               expected=expected,
+                               max_iterations=max_iterations)
+        loop.connect(0, self.op)
+        for i, dq in enumerate(invariants):
+            loop.connect(1 + i, dq.op)
+        return DataQuanta(self.ctx, loop)
+
+    # ---------------------------------------------------------------- misc
+    def with_target_platform(self, platform: str) -> "DataQuanta":
+        """Pin the most recent operator to one platform."""
+        self.op.with_target_platform(platform)
+        return self
+
+    def custom_operator(self, op: Operator,
+                        execution_factory: Callable,
+                        broadcasts: Sequence["DataQuanta"] = ()
+                        ) -> "DataQuanta":
+        """Apply a user-defined operator with a user-supplied execution
+        operator (the paper's ``customOperator``: employ custom operators
+        without extending the API).
+
+        Args:
+            op: The logical operator instance (its inputs are wired here).
+            execution_factory: ``op -> [ExecutionOperator, ...]`` building
+                the execution chain; registered as a mapping matching ONLY
+                this operator instance.
+        """
+        from .mappings import OperatorMapping
+
+        self.ctx.registry.register(OperatorMapping(
+            type(op), execution_factory,
+            guard=lambda candidate, __op=op: candidate is __op,
+            name=f"custom<{op.name}>"))
+        op.connect(0, self.op)
+        for dq in broadcasts:
+            op.broadcast(dq.op)
+        return DataQuanta(self.ctx, op)
+
+    # --------------------------------------------------------------- sinks
+    def to_plan(self, sink: Operator | None = None) -> RheemPlan:
+        """Close the branch with a sink and build a validated plan."""
+        sink = sink or ops.CollectionSink()
+        sink.connect(0, self.op)
+        return RheemPlan([sink])
+
+    def collect(self, **execute_kwargs) -> list[Any]:
+        """Execute and return the result collection."""
+        return self.execute(**execute_kwargs).output
+
+    def execute(self, **execute_kwargs) -> ExecutionResult:
+        """Execute with a collection sink; returns the full result object."""
+        return self.ctx.execute(self.to_plan(), **execute_kwargs)
+
+    def write_text_file(self, path: str, **execute_kwargs) -> ExecutionResult:
+        """Execute, writing the result to a (virtual) text file."""
+        plan = self.to_plan(ops.TextFileSink(path))
+        return self.ctx.execute(plan, **execute_kwargs)

@@ -1,0 +1,385 @@
+"""The executor (Section 4.2 of the paper).
+
+Cuts the execution plan into stages, dispatches them in dependency order,
+drives loops (pausing at loop heads to evaluate the condition), applies
+channel conversions at stage boundaries, and aggregates simulated time
+along the critical path (independent stages overlap — inter-platform
+parallelism).
+
+The executor also implements:
+
+* **optimization checkpoints** — after every stage (our stage outputs are
+  always data at rest), an optional hook inspects the monitor; a truthy
+  return pauses the job and raises :class:`ReplanRequested` carrying the
+  materialized state, which the progressive optimizer consumes;
+* **exploratory mode** — sniffers attached to logical operators observe
+  the data flowing past them at a simulated multiplexing cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..simulation.clock import CostMeter, CriticalPathTracker
+from ..simulation.cluster import VirtualCluster
+from .cardinality import CardinalityEstimate
+from .channels import Channel, ChannelConversionGraph, ConversionPath
+from .execution import (
+    DRIVER_PLATFORM,
+    ExecutionContext,
+    ExecutionPlan,
+    ExecutionStage,
+    ExecutionTask,
+    LoopImplementation,
+)
+from .monitor import Monitor, OperatorObservation
+from .operators import DoWhileLoop, RepeatLoop
+from .optimizer import LoopBodySource
+
+#: Checkpoint hook: (monitor, completed logical op ids) -> True to replan.
+CheckpointHook = Callable[[Monitor, set[int]], bool]
+
+
+class ReplanRequested(Exception):
+    """Raised when a checkpoint decides the remainder must be re-optimized.
+
+    Carries everything the progressive optimizer needs to resume.
+    """
+
+    def __init__(self, state: "PausedExecution") -> None:
+        super().__init__("progressive re-optimization requested")
+        self.state = state
+
+
+@dataclass
+class PausedExecution:
+    """Materialized state of a paused job."""
+
+    materialized: dict[int, Channel]  # logical op id -> output channel
+    completed_logical_ids: set[int]
+    tracker: CriticalPathTracker
+    monitor: Monitor
+    started_platforms: set[str]
+
+
+@dataclass
+class Sniffer:
+    """Exploratory-mode tap on a logical operator's output.
+
+    The callback receives the operator's output payload each time it is
+    produced; the multiplexing/socket work is charged at ``cost_factor``
+    times the platform's per-record cost.
+    """
+
+    logical_id: int
+    callback: Callable[[Any], None]
+    cost_factor: float = 0.5
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a job."""
+
+    outputs: list[Any]
+    runtime: float
+    tracker: CriticalPathTracker
+    monitor: Monitor
+    stage_count: int
+    platforms: set[str] = field(default_factory=set)
+
+    @property
+    def output(self) -> Any:
+        return self.outputs[0]
+
+
+class Executor:
+    """Runs execution plans on the registered platforms."""
+
+    def __init__(
+        self,
+        cluster: VirtualCluster,
+        conversion_graph: ChannelConversionGraph,
+        pgres: Any = None,
+        config: dict[str, Any] | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.graph = conversion_graph
+        self.pgres = pgres
+        self.config = dict(config or {})
+        self._fault_injector = None
+        self._max_stage_retries = 0
+
+    # ----------------------------------------------------------- execution
+    def execute(
+        self,
+        plan: ExecutionPlan,
+        estimates: dict[int, CardinalityEstimate] | None = None,
+        monitor: Monitor | None = None,
+        tracker: CriticalPathTracker | None = None,
+        checkpoint: CheckpointHook | None = None,
+        sniffers: list[Sniffer] = (),
+        started_platforms: set[str] | None = None,
+        initial_env: dict[int, Channel] | None = None,
+        fault_injector=None,
+        max_stage_retries: int = 2,
+        stage_breaks: set[int] = frozenset(),
+        parallelize_stages: bool = True,
+    ) -> ExecutionResult:
+        """Run ``plan`` to completion (or to a checkpoint pause).
+
+        Failed stages (simulated crashes from ``fault_injector``) are re-run
+        from their materialized inputs up to ``max_stage_retries`` times —
+        the cross-platform fault tolerance of :mod:`repro.core.faults`.
+
+        Raises:
+            ReplanRequested: If the ``checkpoint`` hook asks for
+                re-optimization after some stage.
+            PlatformFailure: If a stage keeps crashing past the retry bound.
+        """
+        self._fault_injector = fault_injector
+        self._max_stage_retries = max_stage_retries if fault_injector else 0
+        monitor = monitor or Monitor(estimates=dict(estimates or {}))
+        tracker = tracker or CriticalPathTracker()
+        started = started_platforms if started_platforms is not None else set()
+        ctx = ExecutionContext(cluster=self.cluster, pgres=self.pgres,
+                               monitor=monitor, config=dict(self.config))
+        env: dict[int, Channel] = dict(initial_env or {})
+        conversion_cache: dict[tuple, Channel] = {}
+        sniffer_map: dict[int, list[Sniffer]] = {}
+        for sniffer in sniffers:
+            sniffer_map.setdefault(sniffer.logical_id, []).append(sniffer)
+
+        stages = plan.build_stages(break_after=stage_breaks)
+        stage_of = {task.id: stage.id
+                    for stage in stages for task in stage.tasks}
+        crossing: set[int] = set(t.id for t in plan.sink_tasks)
+        for task in plan.tasks:
+            for ti in task.inputs + task.broadcast_inputs:
+                if stage_of.get(ti.producer.id) != stage_of.get(task.id):
+                    crossing.add(ti.producer.id)
+        completed_logical: set[int] = set()
+        previous_stage_id: str | None = None
+        for index, stage in enumerate(stages):
+            deps = sorted(stage.dependencies)
+            if not parallelize_stages and previous_stage_id is not None:
+                # The paper's "stage parallelization" switch: with it off,
+                # stages run strictly one after another (used for the
+                # single-platform baseline measurements).
+                deps = sorted(set(deps) | {previous_stage_id})
+            timing = self._run_stage_with_retries(
+                stage, stage.id, deps, env, ctx,
+                conversion_cache, tracker, started, sniffer_map, monitor,
+                crossing=crossing, completed_logical=completed_logical)
+            previous_stage_id = timing.stage_id
+            remaining = stages[index + 1:]
+            if checkpoint is not None and remaining:
+                if checkpoint(monitor, set(completed_logical)):
+                    raise ReplanRequested(PausedExecution(
+                        materialized=self._materialized(plan, env),
+                        completed_logical_ids=set(completed_logical),
+                        tracker=tracker,
+                        monitor=monitor,
+                        started_platforms=started,
+                    ))
+
+        outputs = [env[t.id].payload for t in plan.sink_tasks]
+        return ExecutionResult(
+            outputs=outputs,
+            runtime=tracker.makespan,
+            tracker=tracker,
+            monitor=monitor,
+            stage_count=len(stages),
+            platforms=plan.platforms(),
+        )
+
+    # -------------------------------------------------------------- stages
+    def _run_stage_with_retries(self, stage, label, deps, env, ctx, cache,
+                                tracker, started, sniffer_map, monitor,
+                                crossing=None, completed_logical=None):
+        """Run one stage, retrying on injected platform failures.
+
+        Wasted attempts are recorded on the critical path (the cluster paid
+        for them); the successful attempt chains after the last failure.
+        """
+        from .faults import PlatformFailure
+
+        attempt = 0
+        previous_attempt_id = None
+        while True:
+            meter = CostMeter()
+            saved_meter = ctx.meter
+            ctx.meter = meter
+            observations: list[OperatorObservation] = []
+            self._charge_stage_overheads(stage, meter, started)
+            for task in stage.tasks:
+                self._execute_task(task, env, ctx, cache, tracker, started,
+                                   sniffer_map, parent_stage=stage,
+                                   observations=observations)
+                if completed_logical is not None and task.logical_id is not None:
+                    completed_logical.add(task.logical_id)
+                # Within-stage outputs are pipelined; only data materialized
+                # at a stage boundary occupies the platform's memory.
+                out = env[task.id]
+                if (crossing is not None and task.id in crossing
+                        and out.actual_count is not None
+                        and out.descriptor.in_memory
+                        and task.platform in self.cluster.profiles):
+                    self.cluster.check_memory(task.platform, out.sim_mb)
+            ctx.meter = saved_meter
+            attempt_deps = (list(deps) if previous_attempt_id is None
+                            else [previous_attempt_id])
+            injector = self._fault_injector
+            if injector is not None and injector.should_fail(label, attempt):
+                if attempt >= self._max_stage_retries:
+                    raise PlatformFailure(label, attempt)
+                previous_attempt_id = f"{label}.attempt{attempt}"
+                tracker.record(previous_attempt_id, attempt_deps, meter)
+                attempt += 1
+                continue
+            timing = tracker.record(label, attempt_deps, meter)
+            if monitor is not None:
+                monitor.record_stage(timing, stage.platform, observations)
+            return timing
+
+    # --------------------------------------------------------------- tasks
+    def _execute_task(self, task, env, ctx, cache, tracker, started,
+                      sniffer_map, parent_stage,
+                      observations: list | None = None) -> None:
+        op = task.operator
+        if isinstance(op, LoopBodySource):
+            if task.id not in env:
+                raise RuntimeError(f"loop input {task} was never primed")
+            return
+        inputs = [self._convert(env[ti.producer.id], ti.conversion, ctx,
+                                cache, ti.producer.id)
+                  for ti in task.inputs]
+        broadcasts = [self._convert(env[ti.producer.id], ti.conversion, ctx,
+                                    cache, ti.producer.id)
+                      for ti in task.broadcast_inputs]
+        if isinstance(op, LoopImplementation):
+            out = self._run_loop(op, inputs, ctx, tracker, started,
+                                 parent_stage)
+        else:
+            out = op.execute(inputs, broadcasts, ctx)
+            ctx.record_output(op, out)
+            if observations is not None:
+                cin = sum(ch.sim_cardinality for ch in inputs
+                          if ch.actual_count is not None)
+                cout = (out.sim_cardinality
+                        if out.actual_count is not None else 0.0)
+                observations.append(OperatorObservation(
+                    op.platform, op.op_kind, op.work(), cin, cout))
+            logical_id = task.logical_id
+            if logical_id in sniffer_map and out.actual_count is not None:
+                self._sniff(sniffer_map[logical_id], op, out, ctx)
+        env[task.id] = out
+
+    def _sniff(self, sniffers, op, channel: Channel, ctx) -> None:
+        platform = op.platform
+        profile = (self.cluster.profile(platform)
+                   if platform in self.cluster.profiles else None)
+        for sniffer in sniffers:
+            sniffer.callback(channel.payload)
+            if profile is not None:
+                ctx.meter.charge(
+                    profile.cpu_seconds(channel.sim_cardinality,
+                                        sniffer.cost_factor),
+                    f"sniffer[{op.name}]", category="cpu")
+
+    def _convert(self, channel: Channel, path: ConversionPath, ctx,
+                 cache, producer_id: int) -> Channel:
+        current = channel
+        key: tuple = (producer_id,)
+        for step in path.steps:
+            key = key + (step.name,)
+            if key in cache:
+                current = cache[key]
+            else:
+                current = step.apply(current, ctx)
+                cache[key] = current
+        return current
+
+    def _charge_stage_overheads(self, stage: ExecutionStage, meter: CostMeter,
+                                started: set[str]) -> None:
+        if stage.platform == DRIVER_PLATFORM:
+            return
+        if stage.platform not in self.cluster.profiles:
+            return
+        profile = self.cluster.profile(stage.platform)
+        if stage.platform not in started:
+            meter.charge(profile.startup_s, f"{stage.platform}.startup",
+                         category="overhead")
+            started.add(stage.platform)
+        fraction = max((t.operator.tasks_fraction(profile)
+                        for t in stage.tasks
+                        if not isinstance(t.operator, LoopImplementation)),
+                       default=1.0)
+        meter.charge(profile.stage_overhead_s * fraction,
+                     f"{stage.platform}.dispatch", category="overhead")
+
+    # --------------------------------------------------------------- loops
+    def _run_loop(self, impl: LoopImplementation, inputs: list[Channel],
+                  ctx, tracker, started, parent_stage) -> Channel:
+        loop = impl.logical
+        channels = list(inputs)
+        body_stages = impl.body_plan.build_stages()
+        iteration = 0
+        # The parent (driver) stage is recorded only after the loop ends, so
+        # the first iteration chains off the loop's producer stages instead.
+        initial_deps = sorted(parent_stage.dependencies)
+        last_tail: str | None = None
+        max_iterations = (loop.iterations if isinstance(loop, RepeatLoop)
+                          else loop.max_iterations)
+        while iteration < max_iterations:
+            env: dict[int, Channel] = {}
+            cache: dict[tuple, Channel] = {}
+            for k, task in enumerate(impl.body_input_tasks):
+                if task is not None:
+                    env[task.id] = channels[k]
+            sniffer_map: dict[int, list[Sniffer]] = {}
+            prefix = f"{parent_stage.id}.loop{impl.id}.it{iteration}"
+            for stage in body_stages:
+                deps = [f"{prefix}.{d}" for d in sorted(stage.dependencies)]
+                deps.extend([last_tail] if last_tail is not None
+                            else initial_deps)
+                self._run_stage_with_retries(
+                    stage, f"{prefix}.{stage.id}", deps, env, ctx, cache,
+                    tracker, started, sniffer_map, ctx.monitor)
+            if body_stages:
+                last_tail = f"{prefix}.{body_stages[-1].id}"
+            loop_var = env[impl.body_plan.sink_tasks[0].id]
+            iteration += 1
+            done = iteration >= max_iterations
+            if isinstance(loop, DoWhileLoop) and not done:
+                values = self._materialize_payload(loop_var, ctx)
+                done = not loop.condition(values)
+            if done:
+                # The loop's external output keeps the body's channel type;
+                # the feedback conversion only runs between iterations.
+                return loop_var
+            channels[0] = impl.feedback_conversion.apply(loop_var, ctx)
+        return channels[0]
+
+    def _materialize_payload(self, channel: Channel, ctx) -> list[Any]:
+        """Driver-side view of a channel's records (for loop conditions)."""
+        from ..platforms.pystreams.channels import PY_COLLECTION
+
+        if channel.descriptor == PY_COLLECTION:
+            return channel.payload
+        path = self.graph.cheapest_path(
+            channel.descriptor, PY_COLLECTION,
+            channel.sim_cardinality if channel.actual_count is not None else 0,
+            channel.bytes_per_record)
+        return path.apply(channel, ctx).payload
+
+    # ---------------------------------------------------------- checkpoint
+    @staticmethod
+    def _materialized(plan: ExecutionPlan, env: dict[int, Channel]
+                      ) -> dict[int, Channel]:
+        """Latest materialized channel per completed logical operator."""
+        out: dict[int, Channel] = {}
+        for task in plan.tasks:
+            if task.id in env and task.logical_id is not None:
+                out[task.logical_id] = env[task.id]
+        return out

@@ -1,0 +1,61 @@
+"""Cross-platform fault tolerance (the paper's Section 7 future work).
+
+The paper notes RHEEM "relies on the fault-tolerance of the underlying
+platforms and is thus susceptible to failures while moving data across
+platforms", planning a basic cross-platform mechanism.  This module
+implements that mechanism for the reproduction: because every stage
+boundary materializes its channels, a failed stage can simply be re-run
+from its inputs.  The executor retries failed stages up to a bound,
+charging the wasted attempts to the simulated clock.
+
+Failures are injected deterministically (specific stages) or
+probabilistically (seeded), so tests can exercise recovery paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+class PlatformFailure(RuntimeError):
+    """A (simulated) platform crash while executing a stage."""
+
+    def __init__(self, stage_id: str, attempt: int) -> None:
+        super().__init__(f"stage {stage_id} failed (attempt {attempt})")
+        self.stage_id = stage_id
+        self.attempt = attempt
+
+
+@dataclass
+class FaultInjector:
+    """Decides which stage attempts crash.
+
+    Attributes:
+        failures: Explicit plan: stage id -> number of consecutive failures
+            to inject (deterministic tests).
+        probability: Additionally, each attempt fails with this probability
+            (chaos testing), drawn from a seeded RNG.
+        seed: RNG seed for the probabilistic part.
+    """
+
+    failures: dict[str, int] = field(default_factory=dict)
+    probability: float = 0.0
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability < 1.0:
+            raise ValueError("probability must be in [0, 1)")
+        self._rng = random.Random(self.seed)
+        self.injected = 0
+
+    def should_fail(self, stage_id: str, attempt: int) -> bool:
+        """Whether this attempt of ``stage_id`` crashes."""
+        planned = self.failures.get(stage_id, 0)
+        if attempt < planned:
+            self.injected += 1
+            return True
+        if self.probability and self._rng.random() < self.probability:
+            self.injected += 1
+            return True
+        return False

@@ -1,0 +1,71 @@
+"""Optimization objectives beyond runtime (Section 3/4: "the cost can be
+any user-specified cost, e.g., runtime or monetary cost").
+
+An objective is a per-platform weight applied to every second the
+optimizer attributes to that platform: all-ones minimizes runtime; dollar
+rates minimize money.  The same weights can price a finished execution
+from its stage timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Illustrative on-demand prices, dollars per cluster-hour.  The in-process
+#: platforms run on the (already paid) driver node; the distributed ones
+#: bill all ten workers.
+DEFAULT_HOURLY_RATES: dict[str, float] = {
+    "pystreams": 0.40,
+    "jgraph": 0.40,
+    "pgres": 1.20,
+    "sparklite": 9.60,
+    "flinklite": 9.60,
+    "graphlite": 9.60,
+}
+
+
+@dataclass(frozen=True)
+class Objective:
+    """What a unit of platform time costs, per platform.
+
+    Attributes:
+        name: Label for reports.
+        platform_weights: Multiplier applied to each simulated second spent
+            on a platform (missing platforms default to 1.0).
+    """
+
+    name: str
+    platform_weights: dict[str, float] = field(default_factory=dict)
+
+    def weight(self, platform: str) -> float:
+        return self.platform_weights.get(platform, 1.0)
+
+
+#: Minimize end-to-end runtime — the default behaviour.
+RUNTIME = Objective("runtime")
+
+
+def monetary(hourly_rates: dict[str, float] | None = None) -> Objective:
+    """An objective minimizing dollars instead of seconds.
+
+    Args:
+        hourly_rates: Dollars per hour per platform;
+            :data:`DEFAULT_HOURLY_RATES` if omitted.
+    """
+    rates = hourly_rates or DEFAULT_HOURLY_RATES
+    return Objective("monetary",
+                     {p: rate / 3600.0 for p, rate in rates.items()})
+
+
+def price_of(result, hourly_rates: dict[str, float] | None = None) -> float:
+    """Dollar cost of a finished execution, from its stage observations.
+
+    Stage time on unknown platforms (the driver) is free.
+    """
+    rates = hourly_rates or DEFAULT_HOURLY_RATES
+    total = 0.0
+    for record in result.monitor.stage_observations:
+        rate = rates.get(record.platform)
+        if rate is not None:
+            total += record.duration_s * rate / 3600.0
+    return total

@@ -1,0 +1,605 @@
+"""The cost-based cross-platform optimizer (Section 4.1 of the paper).
+
+Pipeline:
+
+1. **Inflation** — every logical operator is annotated with all its
+   execution alternatives (:func:`repro.core.mappings.inflate`).
+2. **Cardinality and cost annotation** — interval estimates, bottom-up.
+3. **Data movement planning** — per plan edge, the channel conversion graph
+   supplies minimum-cost conversion paths between the producing and the
+   required channel types.
+4. **Plan enumeration** — a dynamic program over the plan in topological
+   order.  Partial plans covering the same prefix are *pruned losslessly*:
+   only the cheapest survives per signature ``(open output channels,
+   platforms already started)`` — the paper's lemma that a dominated
+   subplan with identical boundary channels can never be part of the
+   optimum (platform start-up costs are in the signature, so they cannot
+   break dominance).
+
+Loops are enumerated recursively: the loop body is itself enumerated (its
+placeholder inputs may materialize as any data channel), and each surviving
+body frontier becomes one execution alternative of the loop operator, costed
+at ``iterations x body cost`` plus per-iteration feedback conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..platforms.base import ExecutionOperator
+from .cardinality import CardinalityEstimate
+from .channels import (
+    ChannelConversionError,
+    ChannelConversionGraph,
+    ChannelDescriptor,
+    ConversionPath,
+)
+from .cost import CostEstimate, CostModel
+from .execution import (
+    DRIVER_PLATFORM,
+    ExecutionPlan,
+    ExecutionTask,
+    LoopImplementation,
+    TaskInput,
+)
+from .mappings import ExecutionAlternative, MappingRegistry, inflate
+from .operators import (
+    CartesianProduct,
+    ChannelSource,
+    CollectionSource,
+    EstimationContext,
+    FlatMap,
+    IEJoin,
+    Join,
+    LoopInput,
+    LoopOperator,
+    Map,
+    Operator,
+    TableSource,
+    TextFileSource,
+)
+from .plan import RheemPlan
+
+
+class OptimizationError(RuntimeError):
+    """Raised when no executable plan exists (e.g. unreachable channels)."""
+
+
+#: Default bytes/record assumed when planning data movement.
+PLANNING_BYTES_PER_RECORD = 100.0
+
+
+@dataclass
+class ChannelSourceDecision:
+    """Decision for placeholder sources (loop inputs, materialized channels)."""
+
+    descriptor: ChannelDescriptor
+
+
+@dataclass
+class LoopDecision:
+    """A chosen implementation of a loop operator."""
+
+    loop: LoopOperator
+    body: "PartialPlan"
+    input_descriptors: list[ChannelDescriptor]
+    output_descriptor: ChannelDescriptor
+    feedback: ConversionPath
+    platforms: frozenset[str]
+    cost: CostEstimate
+
+
+Decision = ExecutionAlternative | ChannelSourceDecision | LoopDecision
+
+
+@dataclass
+class PartialPlan:
+    """A costed assignment of decisions to a prefix of the plan."""
+
+    cost: CostEstimate = field(default_factory=CostEstimate.zero)
+    decisions: dict[int, Decision] = field(default_factory=dict)
+    conversions: dict[tuple[int, int, int], ConversionPath] = field(
+        default_factory=dict)
+    open_channels: dict[int, ChannelDescriptor] = field(default_factory=dict)
+    platforms: frozenset[str] = frozenset()
+
+    def signature(self) -> tuple:
+        open_sig = tuple(sorted(
+            (op_id, desc.name) for op_id, desc in self.open_channels.items()))
+        return (open_sig, self.platforms)
+
+
+class Optimizer:
+    """Turns Rheem plans into execution plans.
+
+    Args:
+        registry: Operator mappings of all registered platforms.
+        conversion_graph: The channel conversion graph.
+        cost_model: Operator/startup/overhead cost estimation.
+        estimation_ctx: Source metadata for cardinality estimation, plus any
+            measured cardinalities pinned by the progressive optimizer.
+        allowed_platforms: Optional whitelist (used by the single-platform
+            baseline runs of the paper's Figure 9).
+    """
+
+    def __init__(
+        self,
+        registry: MappingRegistry,
+        conversion_graph: ChannelConversionGraph,
+        cost_model: CostModel,
+        estimation_ctx: EstimationContext | None = None,
+        allowed_platforms: set[str] | None = None,
+        objective=None,
+    ) -> None:
+        from .objectives import RUNTIME
+
+        self.registry = registry
+        self.graph = conversion_graph
+        self.cost_model = cost_model
+        self.estimation_ctx = estimation_ctx or EstimationContext()
+        self.allowed_platforms = allowed_platforms
+        #: What a second on each platform costs (runtime / monetary / ...).
+        self.objective = objective or RUNTIME
+        #: Number of partial plans retained across the last enumeration
+        #: (exposed for the pruning ablation benchmark).
+        self.last_enumeration_size = 0
+        self.prune = True
+
+    # ----------------------------------------------------------- public API
+    def optimize(self, plan: RheemPlan) -> ExecutionPlan:
+        """Produce the minimum-estimated-cost execution plan."""
+        best, cards = self.pick_best(plan)
+        return self._build_execution_plan(plan, best)
+
+    def pick_best(self, plan: RheemPlan) -> tuple[PartialPlan, dict]:
+        """Run inflation + enumeration; return the optimal partial plan."""
+        cards = plan.estimate_cardinalities(self.estimation_ctx)
+        inflated = inflate(plan, self.registry)
+        ops = plan.operators()
+        bprs = self._estimate_record_bytes(ops)
+
+        def alternatives(op: Operator):
+            if isinstance(op, LoopOperator):
+                return self._loop_decisions(op, cards, bprs)
+            return self._filter_alternatives(op, inflated.alternatives_for(op))
+
+        results = self._enumerate_ops(ops, cards, bprs, alternatives,
+                                      phantom_open=set(),
+                                      include_startup=True)
+        if not results:
+            raise OptimizationError("enumeration produced no executable plan")
+        best = min(results, key=lambda p: p.cost.geometric_mean)
+        return best, cards
+
+    # -------------------------------------------------- record-size model
+    def _estimate_record_bytes(
+        self, ops_seq: Sequence[Operator],
+        out: dict[int, float] | None = None,
+    ) -> dict[int, float]:
+        """Per-operator output record width, for movement-cost planning."""
+        out = out if out is not None else {}
+        vfs = self.estimation_ctx.vfs
+        for op in ops_seq:
+            if op.id in out:
+                continue
+            ins = [out[ref.op.id] for ref in op.inputs
+                   if ref is not None and ref.op.id in out]
+            if isinstance(op, TextFileSource):
+                if vfs is not None and vfs.exists(op.path):
+                    b = vfs.read(op.path).bytes_per_record
+                else:
+                    b = PLANNING_BYTES_PER_RECORD
+            elif isinstance(op, CollectionSource):
+                b = op.bytes_per_record
+            elif isinstance(op, TableSource):
+                b = self.estimation_ctx.table_bytes.get(
+                    op.table, PLANNING_BYTES_PER_RECORD)
+            elif isinstance(op, ChannelSource):
+                b = op.channel.bytes_per_record
+            elif isinstance(op, (Map, FlatMap)) and op.bytes_per_record:
+                b = op.bytes_per_record
+            elif isinstance(op, (Join, CartesianProduct, IEJoin)):
+                b = sum(ins) if ins else PLANNING_BYTES_PER_RECORD
+            elif isinstance(op, LoopInput):
+                b = (op.pinned_bytes if op.pinned_bytes is not None
+                     else PLANNING_BYTES_PER_RECORD)
+            elif isinstance(op, LoopOperator):
+                for loop_input, ref in zip(op.body.inputs, op.inputs):
+                    loop_input.pinned_bytes = out.get(
+                        ref.op.id, PLANNING_BYTES_PER_RECORD)
+                self._estimate_record_bytes(op.body.operators(), out)
+                b = out[op.body.outputs[0].op.id]
+            elif ins:
+                b = ins[0]
+            else:
+                b = PLANNING_BYTES_PER_RECORD
+            out[op.id] = b
+        return out
+
+    # -------------------------------------------------------- alternatives
+    def _filter_alternatives(self, op: Operator,
+                             alts: list[ExecutionAlternative]):
+        if self.allowed_platforms is not None:
+            alts = [a for a in alts if a.platform in self.allowed_platforms]
+        if op.side_inputs:
+            alts = [a for a in alts if a.broadcast_descriptor() is not None]
+        if not alts:
+            raise OptimizationError(f"no usable execution alternative for {op}")
+        return alts
+
+    def _data_channel_descriptors(self) -> list[ChannelDescriptor]:
+        return [d for d in self.graph.descriptors()
+                if "broadcast" not in d.name]
+
+    # --------------------------------------------------------------- loops
+    def _loop_decisions(self, loop: LoopOperator, cards,
+                        bprs) -> list[LoopDecision]:
+        body_ops = loop.body.operators()
+        output_op = loop.body.outputs[0].op
+        phantom = {inp.id for inp in loop.body.inputs}
+        phantom.add(output_op.id)
+        body_bprs = self._estimate_record_bytes(body_ops, dict(bprs))
+
+        def body_alternatives(op: Operator):
+            if isinstance(op, LoopInput):
+                descs = self._data_channel_descriptors()
+                if op.index > 0:
+                    # Loop-invariant inputs are converted once, outside the
+                    # loop, so they must land on a reusable channel.
+                    descs = [d for d in descs if d.reusable]
+                return [ChannelSourceDecision(d) for d in descs]
+            if isinstance(op, LoopOperator):
+                return self._loop_decisions(op, cards, body_bprs)
+            return self._filter_alternatives(
+                op, self.registry.alternatives_for(op))
+
+        # Platform start-up is a once-per-job cost: exclude it from the body
+        # cost (which gets multiplied by the iteration count); the outer
+        # enumeration charges it when the loop's platform set first appears.
+        results = self._enumerate_ops(body_ops, cards, body_bprs,
+                                      body_alternatives,
+                                      phantom_open=phantom,
+                                      include_startup=False)
+
+        iterations = loop.expected_iterations()
+        card_out = cards[output_op.id]
+        decisions: list[LoopDecision] = []
+        for partial in results:
+            input_descs = [
+                partial.open_channels[inp.id] for inp in loop.body.inputs]
+            out_desc = partial.open_channels[output_op.id]
+            try:
+                feedback = self.graph.cheapest_path(
+                    out_desc, input_descs[0], card_out.geometric_mean,
+                    body_bprs[output_op.id])
+            except ChannelConversionError:
+                continue
+            cost = partial.cost.times(iterations).plus(
+                CostEstimate.fixed(feedback.cost * iterations))
+            decisions.append(LoopDecision(
+                loop=loop,
+                body=partial,
+                input_descriptors=input_descs,
+                output_descriptor=out_desc,
+                feedback=feedback,
+                platforms=partial.platforms,
+                cost=cost,
+            ))
+        if not decisions:
+            raise OptimizationError(f"no executable body plan for {loop}")
+        return decisions
+
+    # ------------------------------------------------------------- the DP
+    def _enumerate_ops(
+        self,
+        ops: Sequence[Operator],
+        cards: dict[int, CardinalityEstimate],
+        bprs: dict[int, float],
+        alternatives: Callable[[Operator], list],
+        phantom_open: set[int],
+        include_startup: bool = True,
+    ) -> list[PartialPlan]:
+        """Enumerate execution plans for ``ops`` (topologically ordered).
+
+        Returns the surviving partial plans covering ALL operators; with
+        pruning enabled, one per boundary signature (lossless).  Operators
+        in ``phantom_open`` keep their output channel in the signature even
+        with no uncovered consumer (loop inputs/outputs).
+        """
+        consumer_counts = self._consumer_counts(ops)
+        remaining = dict(consumer_counts)
+        frontier: list[PartialPlan] = [PartialPlan()]
+        self.last_enumeration_size = 1
+
+        for op in ops:
+            options = alternatives(op)
+            to_close = set()
+            consumed: dict[int, int] = {}
+            for ref in list(op.inputs) + list(op.side_inputs):
+                if ref is not None and ref.op.id in remaining:
+                    consumed[ref.op.id] = consumed.get(ref.op.id, 0) + 1
+            for pid, k in consumed.items():
+                remaining[pid] -= k
+                if remaining[pid] <= 0 and pid not in phantom_open:
+                    to_close.add(pid)
+            keep_open = (consumer_counts.get(op.id, 0) > 0
+                         or op.id in phantom_open)
+
+            candidates: list[PartialPlan] = []
+            for partial in frontier:
+                for option in options:
+                    extended = self._apply_decision(
+                        op, option, partial, cards, bprs, to_close,
+                        keep_open, include_startup)
+                    if extended is not None:
+                        candidates.append(extended)
+            if not candidates:
+                raise OptimizationError(f"no executable plan at operator {op}")
+            if self.prune:
+                best_by_key: dict[tuple, PartialPlan] = {}
+                for cand in candidates:
+                    key = cand.signature()
+                    incumbent = best_by_key.get(key)
+                    if (incumbent is None or cand.cost.geometric_mean
+                            < incumbent.cost.geometric_mean):
+                        best_by_key[key] = cand
+                frontier = list(best_by_key.values())
+            else:
+                frontier = candidates
+            self.last_enumeration_size += len(frontier)
+        return frontier
+
+    @staticmethod
+    def _consumer_counts(ops: Sequence[Operator]) -> dict[int, int]:
+        counts: dict[int, int] = {op.id: 0 for op in ops}
+        for op in ops:
+            for ref in list(op.inputs) + list(op.side_inputs):
+                if ref is not None and ref.op.id in counts:
+                    counts[ref.op.id] += 1
+        return counts
+
+    def _apply_decision(
+        self,
+        op: Operator,
+        option: Decision,
+        partial: PartialPlan,
+        cards: dict[int, CardinalityEstimate],
+        bprs: dict[int, float],
+        to_close: set[int],
+        keep_open: bool,
+        include_startup: bool,
+    ) -> PartialPlan | None:
+        cost = partial.cost
+        conversions = dict(partial.conversions)
+        platforms = partial.platforms
+        open_channels = dict(partial.open_channels)
+
+        if isinstance(option, ChannelSourceDecision):
+            out_desc = option.descriptor
+        else:
+            if isinstance(option, LoopDecision):
+                in_descs = option.input_descriptors
+                out_desc = option.output_descriptor
+                option_platforms = option.platforms
+                option_cost = option.cost
+                bcast_desc = None
+            else:
+                in_descs = option.input_descriptors()
+                out_desc = option.output_descriptor()
+                option_platforms = frozenset({option.platform})
+                cins = [cards[ref.op.id] for ref in op.inputs]
+                bytes_in = (bprs.get(op.inputs[0].op.id,
+                                     PLANNING_BYTES_PER_RECORD)
+                            if op.inputs else PLANNING_BYTES_PER_RECORD)
+                bytes_out = bprs.get(op.id, PLANNING_BYTES_PER_RECORD)
+                # Memory feasibility: never plan onto a platform that cannot
+                # hold the operator's estimated footprint (pessimistically,
+                # on the upper cardinality bounds).  An explicit user pin
+                # overrides the check — and may fail at runtime, like the
+                # paper's killed JGraph runs.
+                cap = self.cost_model.cluster.profile(
+                    option.platform).memory_cap_mb
+                demand = max(
+                    o.memory_demand_mb([c.upper for c in cins],
+                                       cards[op.id].upper,
+                                       bytes_in, bytes_out)
+                    for o in option.ops)
+                if demand > cap and op.target_platform is None:
+                    return None
+                option_cost = option.cost(
+                    self.cost_model, cins, cards[op.id], bytes_in,
+                    bytes_out).times(self.objective.weight(option.platform))
+                bcast_desc = option.broadcast_descriptor()
+
+            # Wire data inputs, inserting conversions where channels differ.
+            same_platform_input = False
+            for slot, ref in enumerate(op.inputs):
+                have = open_channels.get(ref.op.id)
+                if have is None:
+                    return None  # producer outside this enumeration scope
+                want = in_descs[slot]
+                if (not isinstance(option, LoopDecision)
+                        and have.platform == option.platform):
+                    same_platform_input = True
+                path = self._conversion(have, want, cards[ref.op.id],
+                                        bprs.get(ref.op.id,
+                                                 PLANNING_BYTES_PER_RECORD))
+                if path is None:
+                    return None
+                if path.steps:
+                    conversions[(ref.op.id, op.id, slot)] = path
+                    cost = cost.plus(CostEstimate.fixed(path.cost))
+
+            # Broadcast side inputs.
+            for slot, ref in enumerate(op.side_inputs):
+                have = open_channels.get(ref.op.id)
+                if have is None or bcast_desc is None:
+                    return None
+                path = self._conversion(have, bcast_desc, cards[ref.op.id],
+                                        bprs.get(ref.op.id,
+                                                 PLANNING_BYTES_PER_RECORD))
+                if path is None:
+                    return None
+                if path.steps:
+                    conversions[(ref.op.id, op.id, -(slot + 1))] = path
+                    cost = cost.plus(CostEstimate.fixed(path.cost))
+
+            cost = cost.plus(option_cost)
+
+            # Platform start-up: first touch of each platform in the job.
+            if include_startup:
+                for platform in option_platforms - platforms:
+                    cost = cost.plus(CostEstimate.fixed(
+                        self.cost_model.platform_startup(platform)
+                        * self.objective.weight(platform)))
+            platforms = platforms | option_platforms
+
+            # Stage dispatch: a new stage starts when no input arrives from
+            # the same platform (approximates the executor's stage cut).
+            if not isinstance(option, LoopDecision) and not same_platform_input:
+                profile = self.cost_model.cluster.profile(option.platform)
+                fraction = max(o.tasks_fraction(profile) for o in option.ops)
+                cost = cost.plus(CostEstimate.fixed(
+                    profile.stage_overhead_s * fraction
+                    * self.objective.weight(option.platform)))
+
+        new_decisions = dict(partial.decisions)
+        new_decisions[op.id] = option
+        for pid in to_close:
+            open_channels.pop(pid, None)
+        if keep_open:
+            open_channels[op.id] = out_desc
+
+        return PartialPlan(
+            cost=cost,
+            decisions=new_decisions,
+            conversions=conversions,
+            open_channels=open_channels,
+            platforms=platforms,
+        )
+
+    def _conversion(self, have: ChannelDescriptor, want: ChannelDescriptor,
+                    card: CardinalityEstimate,
+                    bytes_per_record: float) -> ConversionPath | None:
+        if have.name == want.name:
+            return ConversionPath([], 0.0)
+        try:
+            return self.graph.cheapest_path(
+                have, want, card.geometric_mean, bytes_per_record)
+        except ChannelConversionError:
+            return None
+
+    # --------------------------------------------------- plan construction
+    def _build_execution_plan(self, plan: RheemPlan,
+                              best: PartialPlan) -> ExecutionPlan:
+        tasks: dict[int, ExecutionTask] = {}
+        ordered: list[ExecutionTask] = []
+
+        def build(op: Operator) -> ExecutionTask:
+            if op.id in tasks:
+                return tasks[op.id]
+            decision = best.decisions[op.id]
+            inputs = [
+                TaskInput(build(ref.op),
+                          best.conversions.get((ref.op.id, op.id, slot),
+                                               ConversionPath([], 0.0)))
+                for slot, ref in enumerate(op.inputs)
+            ]
+            broadcasts = [
+                TaskInput(build(ref.op),
+                          best.conversions.get((ref.op.id, op.id, -(slot + 1)),
+                                               ConversionPath([], 0.0)))
+                for slot, ref in enumerate(op.side_inputs)
+            ]
+            if isinstance(decision, LoopDecision):
+                impl = self._build_loop_impl(decision)
+                task = ExecutionTask(impl, inputs, broadcasts)
+                ordered.append(task)
+            else:
+                task = self._append_chain(decision, inputs, broadcasts, ordered)
+            tasks[op.id] = task
+            return task
+
+        sink_tasks = [build(sink) for sink in plan.sinks]
+        return ExecutionPlan(ordered, sink_tasks)
+
+    @staticmethod
+    def _append_chain(decision: ExecutionAlternative,
+                      inputs: list[TaskInput],
+                      broadcasts: list[TaskInput],
+                      ordered: list[ExecutionTask]) -> ExecutionTask:
+        task = ExecutionTask(decision.ops[0], inputs, broadcasts)
+        ordered.append(task)
+        for extra in decision.ops[1:]:
+            task = ExecutionTask(extra,
+                                 [TaskInput(task, ConversionPath([], 0.0))], [])
+            ordered.append(task)
+        return task
+
+    def _build_loop_impl(self, decision: LoopDecision) -> LoopImplementation:
+        loop = decision.loop
+        body_partial = decision.body
+        tasks: dict[int, ExecutionTask] = {}
+        ordered: list[ExecutionTask] = []
+        input_tasks: list[ExecutionTask | None] = [None] * len(loop.body.inputs)
+
+        def build(op: Operator) -> ExecutionTask:
+            if op.id in tasks:
+                return tasks[op.id]
+            d = body_partial.decisions[op.id]
+            if isinstance(d, ChannelSourceDecision):
+                task = ExecutionTask(LoopBodySource(op, d.descriptor), [], [])
+                ordered.append(task)
+                tasks[op.id] = task
+                input_tasks[op.index] = task
+                return task
+            inputs = [
+                TaskInput(build(ref.op),
+                          body_partial.conversions.get(
+                              (ref.op.id, op.id, slot),
+                              ConversionPath([], 0.0)))
+                for slot, ref in enumerate(op.inputs)
+            ]
+            broadcasts = [
+                TaskInput(build(ref.op),
+                          body_partial.conversions.get(
+                              (ref.op.id, op.id, -(slot + 1)),
+                              ConversionPath([], 0.0)))
+                for slot, ref in enumerate(op.side_inputs)
+            ]
+            if isinstance(d, LoopDecision):
+                task = ExecutionTask(self._build_loop_impl(d), inputs,
+                                     broadcasts)
+                ordered.append(task)
+            else:
+                task = self._append_chain(d, inputs, broadcasts, ordered)
+            tasks[op.id] = task
+            return task
+
+        output_task = build(loop.body.outputs[0].op)
+        for inp in loop.body.inputs:
+            build(inp)
+        body_plan = ExecutionPlan(ordered, [output_task])
+        return LoopImplementation(loop, body_plan, input_tasks,
+                                  decision.feedback)
+
+
+class LoopBodySource(ExecutionOperator):
+    """Placeholder task primed by the loop driver each iteration."""
+
+    platform = DRIVER_PLATFORM
+    op_kind = "loop_input"
+
+    def __init__(self, logical: LoopInput, descriptor: ChannelDescriptor) -> None:
+        super().__init__(logical)
+        self.descriptor = descriptor
+
+    def input_descriptors(self):
+        return []
+
+    def output_descriptor(self):
+        return self.descriptor
+
+    def execute(self, inputs, broadcasts, ctx):  # pragma: no cover
+        raise RuntimeError("LoopBodySource channels are primed by the executor")

@@ -1,0 +1,186 @@
+"""Rheem plans: data-flow DAGs of platform-agnostic operators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .cardinality import CardinalityEstimate
+from .operators import (
+    EstimationContext,
+    InputRef,
+    LoopOperator,
+    Operator,
+    SinkOperator,
+    SubPlan,
+)
+
+
+class PlanValidationError(ValueError):
+    """Raised when a plan is structurally broken."""
+
+
+def topological_order(roots: Sequence[Operator]) -> list[Operator]:
+    """Operators reachable upstream from ``roots``, producers first.
+
+    Loop bodies are NOT traversed: a loop operator is a single vertex of the
+    outer plan.  Broadcast (side) inputs count as edges.
+
+    Raises:
+        PlanValidationError: If a cycle is detected (feedback edges are only
+            legal inside loop bodies, which are separate sub-plans).
+    """
+    order: list[Operator] = []
+    state: dict[int, int] = {}  # 0 = visiting, 1 = done
+
+    def visit(op: Operator) -> None:
+        mark = state.get(op.id)
+        if mark == 1:
+            return
+        if mark == 0:
+            raise PlanValidationError(f"cycle detected at {op}")
+        state[op.id] = 0
+        for ref in list(op.inputs) + list(op.side_inputs):
+            if ref is not None:
+                visit(ref.op)
+        state[op.id] = 1
+        order.append(op)
+
+    for root in roots:
+        visit(root)
+    return order
+
+
+@dataclass(frozen=True)
+class Consumer:
+    """One downstream attachment point of an operator output."""
+
+    op: Operator
+    input_index: int
+    is_broadcast: bool
+
+
+class RheemPlan:
+    """A complete Rheem plan, anchored at its sink operators.
+
+    Args:
+        sinks: One sink per plan branch (paper: "at least one source operator
+            and one sink operator per branch").
+    """
+
+    def __init__(self, sinks: Iterable[Operator]) -> None:
+        self.sinks = list(sinks)
+        if not self.sinks:
+            raise PlanValidationError("a plan needs at least one sink")
+        self._topo = topological_order(self.sinks)
+        self.validate()
+
+    # ------------------------------------------------------------ structure
+    def operators(self, include_loop_bodies: bool = False) -> list[Operator]:
+        """All plan operators in topological order."""
+        if not include_loop_bodies:
+            return list(self._topo)
+        out: list[Operator] = []
+        for op in self._topo:
+            if isinstance(op, LoopOperator):
+                out.extend(op.body.operators())
+            out.append(op)
+        return out
+
+    def sources(self) -> list[Operator]:
+        return [op for op in self._topo if op.is_source]
+
+    def consumers(self) -> dict[int, list[Consumer]]:
+        """Map from producer operator id to its downstream consumers."""
+        cons: dict[int, list[Consumer]] = {op.id: [] for op in self._topo}
+        for op in self._topo:
+            for idx, ref in enumerate(op.inputs):
+                if ref is not None:
+                    cons[ref.op.id].append(Consumer(op, idx, False))
+            for ref in op.side_inputs:
+                cons[ref.op.id].append(Consumer(op, -1, True))
+        return cons
+
+    def operator_count(self, include_loop_bodies: bool = True) -> int:
+        """Number of operators (Table 1 reports these per task)."""
+        return len(self.operators(include_loop_bodies))
+
+    # ----------------------------------------------------------- validation
+    def validate(self) -> None:
+        """Check structural well-formedness.
+
+        Raises:
+            PlanValidationError: On unwired inputs, non-sink roots, or broken
+                loop bodies.
+        """
+        for sink in self.sinks:
+            if not isinstance(sink, SinkOperator):
+                raise PlanValidationError(f"plan root {sink} is not a sink")
+        for op in self._topo:
+            for idx, ref in enumerate(op.inputs):
+                if ref is None:
+                    raise PlanValidationError(f"{op} input {idx} is not connected")
+            if isinstance(op, LoopOperator):
+                _validate_body(op.body)
+        if not any(op.is_source for op in self._topo):
+            raise PlanValidationError("a plan needs at least one source")
+
+    # ----------------------------------------------------------- estimation
+    def estimate_cardinalities(
+        self, ctx: EstimationContext | None = None
+    ) -> dict[int, CardinalityEstimate]:
+        """Bottom-up interval cardinality estimation (Section 4.1).
+
+        Returns a map from operator id to its output-cardinality estimate.
+        Loop bodies are estimated too (one representative iteration), keyed
+        by the body operators' ids.
+        """
+        ctx = ctx or EstimationContext()
+        estimates: dict[int, CardinalityEstimate] = {}
+        _estimate_operators(self._topo, ctx, estimates)
+        # Surface loop-body estimates as well (the loop estimator pinned the
+        # placeholders while estimating the loop's own output above).
+        for op in self._topo:
+            if isinstance(op, LoopOperator):
+                _estimate_operators(op.body.operators(), ctx, estimates)
+        return estimates
+
+    def __repr__(self) -> str:
+        return f"RheemPlan({len(self._topo)} operators, {len(self.sinks)} sinks)"
+
+
+def _validate_body(body: SubPlan) -> None:
+    body_ops = set(op.id for op in body.operators())
+    for ref in body.outputs:
+        if ref.op.id not in body_ops:
+            raise PlanValidationError(f"body output {ref.op} unreachable")
+    for inp in body.inputs:
+        if inp.num_inputs != 0:
+            raise PlanValidationError("loop inputs must be sources")
+
+
+def _estimate_operators(
+    ops_in_topo_order: Sequence[Operator],
+    ctx: EstimationContext,
+    out: dict[int, CardinalityEstimate],
+) -> None:
+    for op in ops_in_topo_order:
+        if op.id in out:
+            continue
+        input_estimates = [
+            out[ref.op.id] for ref in op.inputs if ref is not None
+        ]
+        out[op.id] = op.estimate_cardinality(input_estimates, ctx)
+
+
+def estimate_subplan(
+    body: SubPlan, ctx: EstimationContext
+) -> CardinalityEstimate:
+    """Estimate a loop body's output cardinality for one iteration.
+
+    Assumes the body's :class:`LoopInput` placeholders have been pinned by
+    the enclosing loop operator.
+    """
+    estimates: dict[int, CardinalityEstimate] = {}
+    _estimate_operators(body.operators(), ctx, estimates)
+    return estimates[body.outputs[0].op.id]

@@ -1,0 +1,53 @@
+"""User-defined functions with optimizer-facing annotations.
+
+Rheem operators are refined with UDFs (Section 3 of the paper).  Applications
+may optionally attach a *selectivity* and a *CPU weight* to a UDF; the
+optimizer falls back to per-operator defaults when they are absent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Udf:
+    """A callable plus the metadata the cross-platform optimizer consumes.
+
+    Attributes:
+        fn: The wrapped callable.
+        selectivity: Output-per-input ratio hint.  For ``Filter`` this is the
+            retention fraction; for ``FlatMap`` the expansion factor.  ``None``
+            means "use the operator default".
+        cpu_weight: Relative per-record CPU work of this UDF (1.0 = a plain
+            field access / arithmetic map).
+        name: Label used in plans, logs and cost reports.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        selectivity: float | None = None,
+        cpu_weight: float = 1.0,
+        name: str | None = None,
+    ) -> None:
+        if selectivity is not None and selectivity < 0:
+            raise ValueError(f"selectivity must be >= 0, got {selectivity}")
+        if cpu_weight <= 0:
+            raise ValueError(f"cpu_weight must be > 0, got {cpu_weight}")
+        self.fn = fn
+        self.selectivity = selectivity
+        self.cpu_weight = cpu_weight
+        self.name = name or getattr(fn, "__name__", "udf")
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.fn(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"Udf({self.name})"
+
+
+def as_udf(fn: Callable[..., Any] | Udf) -> Udf:
+    """Wrap a plain callable into a :class:`Udf` (idempotent)."""
+    if isinstance(fn, Udf):
+        return fn
+    return Udf(fn)

@@ -1,0 +1,106 @@
+"""Tokenizer for RheemLatin, the PigLatin-inspired data-flow language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORD_CHARS = set("abcdefghijklmnopqrstuvwxyz_0123456789")
+
+
+class LatinSyntaxError(SyntaxError):
+    """Raised on malformed RheemLatin input."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Kinds: ``ident`` (bare word), ``string`` (single-quoted), ``number``,
+    ``expr`` (a ``{...}`` code block, braces stripped), and the literal
+    punctuation kinds ``=``, ``->``, ``,``, ``;``, ``{``, ``}``.
+    """
+
+    kind: str
+    value: str
+    line: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize RheemLatin source.
+
+    ``{...}`` blocks capture raw code (with nested braces) as single
+    ``expr`` tokens, except for block statements (``repeat``) whose braces
+    are detected by the parser via lookahead — the lexer always captures
+    balanced braces and the parser re-lexes block bodies.
+
+    Raises:
+        LatinSyntaxError: On unterminated strings/braces or stray characters.
+    """
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "-" and source[i:i + 2] == "--":  # comment to end of line
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "-" and source[i:i + 2] == "->":
+            tokens.append(Token("->", "->", line))
+            i += 2
+            continue
+        if ch in "=,;":
+            tokens.append(Token(ch, ch, line))
+            i += 1
+            continue
+        if ch == "'":
+            end = source.find("'", i + 1)
+            if end < 0:
+                raise LatinSyntaxError("unterminated string literal", line)
+            tokens.append(Token("string", source[i + 1:end], line))
+            line += source.count("\n", i, end)
+            i = end + 1
+            continue
+        if ch == "{":
+            depth = 1
+            j = i + 1
+            while j < n and depth:
+                if source[j] == "{":
+                    depth += 1
+                elif source[j] == "}":
+                    depth -= 1
+                j += 1
+            if depth:
+                raise LatinSyntaxError("unterminated '{' block", line)
+            tokens.append(Token("expr", source[i + 1:j - 1].strip(), line))
+            line += source.count("\n", i, j)
+            i = j
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                j += 1
+            tokens.append(Token("number", source[i:j], line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            tokens.append(Token("ident", source[i:j], line))
+            i = j
+            continue
+        raise LatinSyntaxError(f"unexpected character {ch!r}", line)
+    return tokens

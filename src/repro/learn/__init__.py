@@ -1,0 +1,27 @@
+"""Offline cost-model learning: log generation + genetic-algorithm fitting."""
+
+from .generator import GeneratorConfig, LogGenerator, TOPOLOGIES
+from .genetic import FitResult, GeneticCostLearner, predict_stage
+from .loss import corpus_loss, relative_loss, stage_weights
+from .persistence import (
+    load_params,
+    params_from_json,
+    params_to_json,
+    save_params,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "LogGenerator",
+    "TOPOLOGIES",
+    "FitResult",
+    "GeneticCostLearner",
+    "predict_stage",
+    "corpus_loss",
+    "relative_loss",
+    "stage_weights",
+    "load_params",
+    "params_from_json",
+    "params_to_json",
+    "save_params",
+]

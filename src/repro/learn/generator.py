@@ -1,0 +1,123 @@
+"""The execution-log generator (Section 4.5 of the paper).
+
+The paper observes that most data analytic tasks follow one of three
+topologies — *pipeline* (batch), *iterative* (ML) and *merge* (SPJA) — and
+generates Rheem plans over those topologies with varying UDF complexity,
+selectivities, input sizes and data types, executes them, and logs stage
+runtimes.  This module does the same against the simulated platforms: each
+generated task runs forced on each single platform (so every
+(platform, operator-kind) pair is observed) and the monitors' stage
+observations form the training corpus.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from ..core.context import RheemContext
+from ..core.monitor import StageObservation
+from ..core.optimizer import OptimizationError
+from ..core.udf import Udf
+from ..simulation.cluster import SimulatedOutOfMemory
+
+TOPOLOGIES = ("pipeline", "iterative", "merge")
+
+#: Platform sets each generated task is forced onto.
+_FORCED = (
+    {"pystreams"},
+    {"sparklite"},
+    {"flinklite"},
+    {"pgres", "pystreams"},
+)
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the log generator."""
+
+    sizes: tuple[int, ...] = (200, 1000)
+    sim_factors: tuple[float, ...] = (100.0, 20_000.0)
+    selectivities: tuple[float, ...] = (0.1, 0.9)
+    udf_weights: tuple[float, ...] = (1.0, 4.0)
+    iterations: tuple[int, ...] = (5,)
+    seed: int = 11
+
+
+@dataclass
+class LogGenerator:
+    """Generates plans, executes them, and collects stage observations."""
+
+    config: GeneratorConfig = field(default_factory=GeneratorConfig)
+
+    def generate(self) -> list[StageObservation]:
+        """Run the full matrix of (topology x configuration x platform)."""
+        records: list[StageObservation] = []
+        counter = itertools.count(1)
+        cfg = self.config
+        combos = itertools.product(
+            TOPOLOGIES, cfg.sizes, cfg.sim_factors,
+            cfg.selectivities, cfg.udf_weights)
+        for topology, size, sim_factor, selectivity, weight in combos:
+            for forced in _FORCED:
+                ctx = RheemContext(config={"seed": cfg.seed})
+                plan = self._build(ctx, topology, size, sim_factor,
+                                   selectivity, weight, next(counter))
+                try:
+                    result = ctx.execute(
+                        plan, allowed_platforms=set(forced) | {"driver"})
+                except (OptimizationError, SimulatedOutOfMemory):
+                    continue
+                records.extend(result.monitor.stage_observations)
+        return records
+
+    # ------------------------------------------------------------ builders
+    def _build(self, ctx: RheemContext, topology: str, size: int,
+               sim_factor: float, selectivity: float, weight: float,
+               tag: int):
+        rng = random.Random(f"{self.config.seed}|{topology}|{size}|{tag}")
+        lines = [f"{i},{rng.randrange(100)}" for i in range(size)]
+        path = f"hdfs://gen/{topology}-{tag}.csv"
+        ctx.vfs.write(path, lines, sim_factor=sim_factor, bytes_per_record=80)
+
+        def parse(line: str):
+            key, value = line.split(",")
+            return (int(key), int(value))
+
+        heavy = Udf(lambda t: (t[0], t[1] * 2), cpu_weight=weight,
+                    name="heavy-map")
+        keep = Udf(lambda t: t[1] < 100 * selectivity,
+                   selectivity=selectivity, name="gen-filter")
+
+        if topology == "pipeline":
+            dq = (ctx.read_text_file(path).map(parse, name="gen-parse")
+                  .map(heavy).filter(keep).distinct(key=lambda t: t[0])
+                  .sort(key=lambda t: t[1]))
+            return dq.to_plan()
+        if topology == "iterative":
+            data = ctx.read_text_file(path).map(parse, name="gen-parse").cache()
+            state = ctx.load_collection([(0, 0)], bytes_per_record=16)
+
+            def body(s, inv):
+                sample = inv.sample(size=8, method="random_jump",
+                                    broadcasts=[s])
+                mapped = sample.map(heavy)
+                return mapped.reduce(lambda a, b: (a[0] + b[0], a[1] + b[1]))
+
+            out = state.repeat(self.config.iterations[0], body,
+                               invariants=[data])
+            return out.to_plan()
+        if topology == "merge":
+            left = ctx.read_text_file(path).map(parse, name="gen-parse-l")
+            right = (ctx.load_collection(
+                [(k, f"v{k}") for k in range(100)], bytes_per_record=20)
+                .filter(keep_right := Udf(lambda t: True, selectivity=1.0,
+                                          name="gen-keep")))
+            joined = left.join(right, lambda t: t[0] % 100, lambda t: t[0],
+                               selectivity=1.0 / 100)
+            dq = (joined.map(lambda p: (p[1][0], 1), name="gen-project")
+                  .reduce_by_key(lambda t: t[0],
+                                 lambda a, b: (a[0], a[1] + b[1])))
+            return dq.to_plan()
+        raise ValueError(f"unknown topology {topology!r}")

@@ -1,0 +1,55 @@
+"""The cost learner's loss (Section 4.5 of the paper).
+
+Per stage: ``loss(t, t') = ((|t - t'| + s) / (t + s))^2`` where ``t`` is the
+measured stage runtime, ``t'`` the model's prediction and ``s`` an
+additive-smoothing regularizer that tempers the loss for very short stages.
+Across stages: the weighted arithmetic mean, with each stage weighted by the
+relative frequencies of its operators among all stages (so skewed workloads
+do not drown rare operators).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Sequence
+
+from ..core.monitor import StageObservation
+
+
+def relative_loss(actual: float, predicted: float, smoothing: float = 1.0) -> float:
+    """The paper's smoothed relative squared error."""
+    if smoothing <= 0:
+        raise ValueError("smoothing must be > 0")
+    return ((abs(actual - predicted) + smoothing) / (actual + smoothing)) ** 2
+
+
+def stage_weights(records: Sequence[StageObservation]) -> list[float]:
+    """Weight per stage: sum of its operators' relative corpus frequencies."""
+    counts: Counter[str] = Counter()
+    total = 0
+    for record in records:
+        for obs in record.operators:
+            counts[f"{obs.platform}.{obs.op_kind}"] += 1
+            total += 1
+    if total == 0:
+        return [1.0] * len(records)
+    weights = []
+    for record in records:
+        weight = sum(counts[f"{o.platform}.{o.op_kind}"] / total
+                     for o in record.operators)
+        weights.append(weight if weight > 0 else 1.0 / total)
+    return weights
+
+
+def corpus_loss(
+    records: Sequence[StageObservation],
+    predict: Callable[[StageObservation], float],
+    smoothing: float = 1.0,
+) -> float:
+    """Weighted mean relative loss over a log corpus."""
+    if not records:
+        return 0.0
+    weights = stage_weights(records)
+    num = sum(w * relative_loss(r.duration_s, predict(r), smoothing)
+              for w, r in zip(weights, records))
+    return num / sum(weights)

@@ -1,0 +1,47 @@
+"""Saving and loading learned cost-model parameters.
+
+The paper separates cost *functions* from cost-model *parameters* so "the
+optimizer [is] portable across different deployments": fit once on a
+deployment's logs, persist the parameters, and hand them to every future
+:class:`~repro.core.context.RheemContext` on that deployment.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.cost import OperatorCostParams
+
+
+def params_to_json(params: dict[str, OperatorCostParams]) -> str:
+    """Serialize learned parameters to a JSON string."""
+    doc = {key: {"alpha": p.alpha, "beta": p.beta, "delta": p.delta}
+           for key, p in sorted(params.items())}
+    return json.dumps(doc, indent=2)
+
+
+def params_from_json(text: str) -> dict[str, OperatorCostParams]:
+    """Parse parameters serialized by :func:`params_to_json`.
+
+    Raises:
+        ValueError: On malformed documents.
+    """
+    try:
+        doc = json.loads(text)
+        return {key: OperatorCostParams(entry["alpha"], entry["beta"],
+                                        entry["delta"])
+                for key, entry in doc.items()}
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise ValueError(f"malformed cost-parameter document: {exc}") from exc
+
+
+def save_params(params: dict[str, OperatorCostParams],
+                path: str | Path) -> None:
+    """Write learned parameters to a file."""
+    Path(path).write_text(params_to_json(params))
+
+
+def load_params(path: str | Path) -> dict[str, OperatorCostParams]:
+    """Read learned parameters from a file."""
+    return params_from_json(Path(path).read_text())

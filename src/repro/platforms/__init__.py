@@ -1,0 +1,39 @@
+"""Simulated data processing platforms.
+
+Each subpackage is one platform: its engine, channel types, conversions and
+operator mappings.  ``builtin_platforms`` returns one instance of each,
+ready to be registered with a :class:`~repro.core.context.RheemContext`.
+"""
+
+from .base import ExecutionOperator, Platform, charge_operator
+from .distributed import PartitionedDataset
+
+
+def builtin_platforms() -> list[Platform]:
+    """Fresh instances of every bundled platform."""
+    from .flinklite import FlinkLitePlatform
+    from .graphchi import GraphChiPlatform
+    from .graphlite import GraphLitePlatform
+    from .jgraph import JGraphPlatform
+    from .pgres import PgresPlatform
+    from .pystreams import PyStreamsPlatform
+    from .sparklite import SparkLitePlatform
+
+    return [
+        PyStreamsPlatform(),
+        SparkLitePlatform(),
+        FlinkLitePlatform(),
+        PgresPlatform(),
+        GraphLitePlatform(),
+        GraphChiPlatform(),
+        JGraphPlatform(),
+    ]
+
+
+__all__ = [
+    "ExecutionOperator",
+    "Platform",
+    "charge_operator",
+    "PartitionedDataset",
+    "builtin_platforms",
+]

@@ -1,0 +1,526 @@
+"""Generic execution operators shared by the distributed dataflow engines.
+
+The Spark analog and the Flink analog execute the same *logic* over
+:class:`~repro.platforms.distributed.PartitionedDataset` payloads; they
+differ in channel types, performance profiles and a few operators (Spark's
+explicit Cache, Flink's pipelined dispatch).  Each engine subclasses these
+generic operators and pins its ``platform`` / channel descriptors.
+
+Wide (shuffling) operators really hash-partition the data — co-location is
+observable — and charge shuffle time per simulated MB on top of CPU time.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+from ..algorithms.iejoin import ie_join
+from ..algorithms.pagerank import pagerank_edges
+from ..core.channels import Channel, ChannelDescriptor
+from .base import ExecutionOperator, charge_operator
+from .distributed import PartitionedDataset
+
+
+class DataflowOperator(ExecutionOperator):
+    """Base for distributed execution operators.
+
+    Subclasses (or the per-engine leaf classes) set:
+
+    * ``platform`` — engine name;
+    * ``DATASET`` — the engine's distributed channel descriptor;
+    * ``BROADCAST`` — the engine's broadcast channel descriptor.
+    """
+
+    DATASET: ChannelDescriptor
+    BROADCAST: ChannelDescriptor
+
+    def input_descriptors(self):
+        arity = self.logical.num_inputs if self.logical is not None else 1
+        return [self.DATASET] * arity
+
+    def output_descriptor(self):
+        return self.DATASET
+
+    def broadcast_descriptor(self):
+        return self.BROADCAST
+
+    # ------------------------------------------------------------- plumbing
+    def execute(self, inputs: Sequence[Channel], broadcasts: Sequence[Channel],
+                ctx) -> Channel:
+        self._charge_inputs = list(inputs)
+        return self._run(inputs, [b.payload for b in broadcasts], ctx)
+
+    def _run(self, inputs: Sequence[Channel], bvals: list[Any], ctx) -> Channel:
+        raise NotImplementedError
+
+    def _parallelism(self, ctx) -> int:
+        return ctx.profile(self.platform).parallelism
+
+    def _emit(self, template: Channel, dataset: PartitionedDataset, ctx,
+              sim_factor: float | None = None,
+              bytes_per_record: float | None = None) -> Channel:
+        out = Channel(
+            self.DATASET,
+            dataset,
+            template.sim_factor if sim_factor is None else sim_factor,
+            (template.bytes_per_record if bytes_per_record is None
+             else bytes_per_record),
+            dataset.count(),
+        )
+        cin = sum(ch.sim_cardinality for ch in self._charge_inputs)
+        charge_operator(ctx, self, cin, out.sim_cardinality)
+        extra = self.overhead_seconds(ctx.profile(self.platform))
+        if extra:
+            ctx.meter.charge(extra, f"{self.name}.overhead", category="overhead")
+        return out
+
+    def _charge_shuffle(self, ctx, channel: Channel) -> None:
+        """Charge network time for shuffling one input's simulated volume."""
+        profile = ctx.profile(self.platform)
+        mb = channel.sim_cardinality * channel.bytes_per_record / 1e6
+        ctx.meter.charge(mb * profile.shuffle_cost_s_per_mb,
+                         f"{self.name}.shuffle", category="net")
+
+
+class DFTextFileSource(DataflowOperator):
+    """Parallel file read at the engine's aggregate bandwidth."""
+
+    op_kind = "source"
+
+    def input_descriptors(self):
+        return []
+
+    def _run(self, inputs, bvals, ctx):
+        vf = ctx.vfs.read(self.logical.path)
+        ctx.meter.charge(ctx.profile(self.platform).io_seconds(vf.sim_mb),
+                         f"{self.name}.read", category="io")
+        dataset = PartitionedDataset.from_records(vf.records,
+                                                  self._parallelism(ctx))
+        template = Channel(self.DATASET, None, vf.sim_factor,
+                           vf.bytes_per_record)
+        self._charge_inputs = []
+        return self._emit(template, dataset, ctx)
+
+
+class DFCollectionSource(DataflowOperator):
+    """Parallelize a driver collection into the cluster."""
+
+    op_kind = "source"
+
+    def input_descriptors(self):
+        return []
+
+    def _run(self, inputs, bvals, ctx):
+        logical = self.logical
+        dataset = PartitionedDataset.from_records(logical.data,
+                                                  self._parallelism(ctx))
+        template = Channel(self.DATASET, None, logical.sim_factor,
+                           logical.bytes_per_record)
+        self._charge_inputs = []
+        out = self._emit(template, dataset, ctx)
+        ctx.meter.charge(ctx.profile(self.platform).transfer_seconds(out.sim_mb),
+                         f"{self.name}.parallelize", category="net")
+        return out
+
+
+class DFMap(DataflowOperator):
+    op_kind = "map"
+
+    def _run(self, inputs, bvals, ctx):
+        udf = self.logical.udf
+        out = inputs[0].payload.map_partitions(
+            lambda part: [udf(x, *bvals) for x in part])
+        return self._emit(inputs[0], out, ctx,
+                          bytes_per_record=self.logical.bytes_per_record)
+
+
+class DFFlatMap(DataflowOperator):
+    op_kind = "flatmap"
+
+    def _run(self, inputs, bvals, ctx):
+        udf = self.logical.udf
+        out = inputs[0].payload.map_partitions(
+            lambda part: [y for x in part for y in udf(x, *bvals)])
+        return self._emit(inputs[0], out, ctx,
+                          bytes_per_record=self.logical.bytes_per_record)
+
+
+class DFMapPartitions(DataflowOperator):
+    op_kind = "map"
+
+    def _run(self, inputs, bvals, ctx):
+        udf = self.logical.udf
+        out = inputs[0].payload.map_partitions(
+            lambda part: list(udf(list(part), *bvals)))
+        return self._emit(inputs[0], out, ctx,
+                          bytes_per_record=self.logical.bytes_per_record)
+
+
+class DFZipWithId(DataflowOperator):
+    """Unique ids via a per-partition stride (no coordination needed)."""
+
+    op_kind = "map"
+
+    def _run(self, inputs, bvals, ctx):
+        dataset = inputs[0].payload
+        stride = dataset.num_partitions
+        parts = [
+            [(pid + i * stride, record) for i, record in enumerate(part)]
+            for pid, part in enumerate(dataset.partitions)
+        ]
+        from .distributed import PartitionedDataset
+        return self._emit(inputs[0], PartitionedDataset(parts), ctx)
+
+
+class DFFilter(DataflowOperator):
+    op_kind = "filter"
+
+    def _run(self, inputs, bvals, ctx):
+        udf = self.logical.udf
+        out = inputs[0].payload.map_partitions(
+            lambda part: [x for x in part if udf(x, *bvals)])
+        return self._emit(inputs[0], out, ctx)
+
+
+class DFSample(DataflowOperator):
+    """Sampling; the method decides whether the engine scans everything.
+
+    ``random`` models a full-scan take-sample (what MLlib does), while
+    ``random_jump`` / ``shuffled_partition`` model ML4all's plugged
+    IO-efficient samplers that only touch the sample itself.
+    """
+
+    def __init__(self, logical):
+        super().__init__(logical)
+        self._invocations = 0
+
+    @property
+    def op_kind(self):
+        if self._is_efficient():
+            return "sample"
+        return "sample_scan"
+
+    def _is_efficient(self) -> bool:
+        return self.logical.method in ("random_jump", "shuffled_partition",
+                                       "first")
+
+    def tasks_fraction(self, profile) -> float:
+        # The plugged-in samplers touch a single partition, so the engine
+        # schedules one task instead of a full wave.
+        if self._is_efficient():
+            return 1.0 / profile.parallelism
+        return 1.0
+
+    def _run(self, inputs, bvals, ctx):
+        data = inputs[0].payload.to_list()
+        logical = self.logical
+        if logical.size is not None:
+            k = min(logical.size, len(data))
+        else:
+            k = int(len(data) * logical.fraction)
+        if logical.method == "first":
+            sample = data[:k]
+        else:
+            seed = (f"{ctx.config.get('seed', 42)}|{logical.seed}"
+                    f"|{logical.name}|{self._invocations}")
+            rng = random.Random(seed)
+            sample = [data[rng.randrange(len(data))] for __ in range(k)] if data else []
+        self._invocations += 1
+        out = PartitionedDataset([sample])
+        return self._emit(inputs[0], out, ctx, sim_factor=1.0)
+
+
+class DFDistinct(DataflowOperator):
+    op_kind = "distinct"
+
+    def shuffled_mb(self, profile, cins, cout, bytes_in, bytes_out):
+        return cins[0] * bytes_in / 1e6
+
+    def _run(self, inputs, bvals, ctx):
+        key = self.logical.key
+
+        def dedupe(part: list[Any]) -> list[Any]:
+            seen, out = set(), []
+            for x in part:
+                k = key(x) if key is not None else x
+                if k not in seen:
+                    seen.add(k)
+                    out.append(x)
+            return out
+
+        self._charge_shuffle(ctx, inputs[0])
+        shuffled = inputs[0].payload.shuffle_by_key(
+            key if key is not None else lambda x: x, self._parallelism(ctx))
+        return self._emit(inputs[0], shuffled.map_partitions(dedupe), ctx)
+
+
+class DFSort(DataflowOperator):
+    """Global sort via range partitioning (modelled as one shuffle)."""
+
+    op_kind = "sort"
+
+    def shuffled_mb(self, profile, cins, cout, bytes_in, bytes_out):
+        return cins[0] * bytes_in / 1e6
+
+    def _run(self, inputs, bvals, ctx):
+        key = self.logical.key
+        records = sorted(inputs[0].payload.records(),
+                         key=key if key is not None else None,
+                         reverse=self.logical.descending)
+        self._charge_shuffle(ctx, inputs[0])
+        n = self._parallelism(ctx)
+        chunk = max(1, (len(records) + n - 1) // n)
+        parts = [records[i:i + chunk] for i in range(0, len(records), chunk)]
+        return self._emit(inputs[0], PartitionedDataset(parts or [[]]), ctx)
+
+
+class DFGroupBy(DataflowOperator):
+    op_kind = "groupby"
+
+    def shuffled_mb(self, profile, cins, cout, bytes_in, bytes_out):
+        return cins[0] * bytes_in / 1e6
+
+    def _run(self, inputs, bvals, ctx):
+        key = self.logical.key
+        self._charge_shuffle(ctx, inputs[0])
+        shuffled = inputs[0].payload.shuffle_by_key(key, self._parallelism(ctx))
+
+        def group(part: list[Any]) -> list[Any]:
+            groups: dict[Any, list[Any]] = {}
+            for x in part:
+                groups.setdefault(key(x), []).append(x)
+            return list(groups.items())
+
+        out = shuffled.map_partitions(group)
+        return self._emit(inputs[0], out, ctx,
+                          sim_factor=_group_factor(self.logical, out.count(),
+                                                   inputs[0].sim_factor))
+
+
+class DFReduceBy(DataflowOperator):
+    """Combine locally, shuffle the partial aggregates, reduce."""
+
+    op_kind = "reduceby"
+
+    def shuffled_mb(self, profile, cins, cout, bytes_in, bytes_out):
+        partial = min(cins[0], cout * profile.parallelism)
+        return partial * bytes_in / 1e6
+
+    def _run(self, inputs, bvals, ctx):
+        key = self.logical.key
+        reducer = self.logical.reducer
+
+        def combine(part: list[Any]) -> list[Any]:
+            acc: dict[Any, Any] = {}
+            for x in part:
+                k = key(x)
+                acc[k] = x if k not in acc else reducer(acc[k], x)
+            return list(acc.values())
+
+        combined = inputs[0].payload.map_partitions(combine)
+        # Only the locally combined partial aggregates cross the network.
+        partial_mb = (combined.count() * inputs[0].sim_factor
+                      * inputs[0].bytes_per_record / 1e6)
+        profile = ctx.profile(self.platform)
+        ctx.meter.charge(partial_mb * profile.shuffle_cost_s_per_mb,
+                         f"{self.name}.shuffle", category="net")
+        shuffled = combined.shuffle_by_key(key, self._parallelism(ctx))
+        out = shuffled.map_partitions(
+            lambda part: [v for __, v in _fold_by_key(part, key, reducer)])
+        return self._emit(inputs[0], out, ctx,
+                          sim_factor=_group_factor(self.logical, out.count(),
+                                                   inputs[0].sim_factor))
+
+
+def _group_factor(logical, actual_groups: int, input_factor: float):
+    """Honour a declared true group count (see the logical operators)."""
+    sim_groups = getattr(logical, "sim_groups", None)
+    if sim_groups is not None and actual_groups:
+        return sim_groups / actual_groups
+    return input_factor
+
+
+def _fold_by_key(part, key, reducer):
+    acc: dict[Any, Any] = {}
+    for x in part:
+        k = key(x)
+        acc[k] = x if k not in acc else reducer(acc[k], x)
+    return acc.items()
+
+
+class DFGlobalReduce(DataflowOperator):
+    op_kind = "reduce"
+
+    def _run(self, inputs, bvals, ctx):
+        reducer = self.logical.reducer
+        records = list(inputs[0].payload.records())
+        out: list[Any] = []
+        if records:
+            acc = records[0]
+            for x in records[1:]:
+                acc = reducer(acc, x)
+            out = [acc]
+        return self._emit(inputs[0], PartitionedDataset([out]), ctx,
+                          sim_factor=1.0)
+
+
+class DFCount(DataflowOperator):
+    op_kind = "count"
+
+    def _run(self, inputs, bvals, ctx):
+        n = inputs[0].payload.count()
+        return self._emit(inputs[0], PartitionedDataset([[n]]), ctx,
+                          sim_factor=1.0)
+
+
+class DFUnion(DataflowOperator):
+    op_kind = "union"
+
+    def _run(self, inputs, bvals, ctx):
+        a, b = inputs
+        parts = list(a.payload.partitions) + list(b.payload.partitions)
+        total_actual = a.payload.count() + b.payload.count()
+        total_sim = a.sim_cardinality + b.sim_cardinality
+        factor = total_sim / total_actual if total_actual else 1.0
+        return self._emit(a, PartitionedDataset(parts), ctx, sim_factor=factor)
+
+
+class DFIntersect(DataflowOperator):
+    op_kind = "intersect"
+
+    def shuffled_mb(self, profile, cins, cout, bytes_in, bytes_out):
+        return sum(cins) * bytes_in / 1e6
+
+    def _run(self, inputs, bvals, ctx):
+        a, b = inputs
+        n = self._parallelism(ctx)
+        self._charge_shuffle(ctx, a)
+        self._charge_shuffle(ctx, b)
+        sa = a.payload.shuffle_by_key(lambda x: x, n)
+        sb = b.payload.shuffle_by_key(lambda x: x, n)
+
+        def intersect(pa: list[Any], pb: list[Any]) -> list[Any]:
+            right = set(pb)
+            seen: set[Any] = set()
+            out = []
+            for x in pa:
+                if x in right and x not in seen:
+                    seen.add(x)
+                    out.append(x)
+            return out
+
+        return self._emit(a, sa.zip_partitions(sb, intersect), ctx)
+
+
+class DFJoin(DataflowOperator):
+    """Shuffle hash join: both sides partitioned by key, joined locally."""
+
+    op_kind = "join"
+
+    def shuffled_mb(self, profile, cins, cout, bytes_in, bytes_out):
+        return sum(cins) * bytes_in / 1e6
+
+    def _run(self, inputs, bvals, ctx):
+        a, b = inputs
+        lk, rk = self.logical.left_key, self.logical.right_key
+        n = self._parallelism(ctx)
+        self._charge_shuffle(ctx, a)
+        self._charge_shuffle(ctx, b)
+        sa = a.payload.shuffle_by_key(lk, n)
+        sb = b.payload.shuffle_by_key(rk, n)
+
+        def join(pa: list[Any], pb: list[Any]) -> list[Any]:
+            table: dict[Any, list[Any]] = {}
+            for r in pb:
+                table.setdefault(rk(r), []).append(r)
+            return [(l, r) for l in pa for r in table.get(lk(l), ())]
+
+        out = sa.zip_partitions(sb, join)
+        factor = self.logical.output_sim_factor(a.sim_factor, b.sim_factor)
+        return self._emit(a, out, ctx, sim_factor=factor,
+                          bytes_per_record=a.bytes_per_record + b.bytes_per_record)
+
+
+class DFCartesian(DataflowOperator):
+    op_kind = "cartesian"
+
+    def shuffled_mb(self, profile, cins, cout, bytes_in, bytes_out):
+        replicated = cins[1] if len(cins) > 1 else 0.0
+        return replicated * bytes_in / 1e6
+
+    def _run(self, inputs, bvals, ctx):
+        a, b = inputs
+        right = b.payload.to_list()
+        self._charge_shuffle(ctx, b)  # replicate the right side
+        out = a.payload.map_partitions(
+            lambda part: [(l, r) for l in part for r in right])
+        return self._emit(a, out, ctx,
+                          sim_factor=a.sim_factor * b.sim_factor,
+                          bytes_per_record=a.bytes_per_record + b.bytes_per_record)
+
+
+class DFIEJoin(DataflowOperator):
+    """Distributed IEJoin: globally sorted merge via the fast algorithm."""
+
+    op_kind = "iejoin"
+
+    def shuffled_mb(self, profile, cins, cout, bytes_in, bytes_out):
+        return sum(cins) * bytes_in / 1e6
+
+    def _run(self, inputs, bvals, ctx):
+        a, b = inputs
+        conditions = [(c.left_key, c.op, c.right_key)
+                      for c in self.logical.conditions]
+        self._charge_shuffle(ctx, a)
+        self._charge_shuffle(ctx, b)
+        pairs = ie_join(a.payload.to_list(), b.payload.to_list(), conditions)
+        out = PartitionedDataset.from_records(pairs, self._parallelism(ctx))
+        return self._emit(a, out, ctx,
+                          sim_factor=max(a.sim_factor, b.sim_factor),
+                          bytes_per_record=a.bytes_per_record + b.bytes_per_record)
+
+
+class DFPageRank(DataflowOperator):
+    """PageRank as iterated join/aggregate jobs (the m-to-n mapping target).
+
+    Each iteration is a separate distributed job, so the engine pays one
+    stage overhead per iteration — exactly why the paper's CrocoPR prefers
+    JGraph for small graphs.
+    """
+
+    op_kind = "pagerank"
+
+    def shuffled_mb(self, profile, cins, cout, bytes_in, bytes_out):
+        return self.logical.iterations * cout * bytes_in / 1e6
+
+    def overhead_seconds(self, profile) -> float:
+        return self.logical.iterations * profile.stage_overhead_s
+
+    def _run(self, inputs, bvals, ctx):
+        ranks = pagerank_edges(inputs[0].payload.records(),
+                               self.logical.iterations, self.logical.damping)
+        out = PartitionedDataset.from_records(sorted(ranks.items()),
+                                              self._parallelism(ctx))
+        # Each iteration shuffles rank contributions (vertex-sized, not
+        # edge-sized).
+        profile = ctx.profile(self.platform)
+        rank_mb = (len(ranks) * inputs[0].sim_factor
+                   * inputs[0].bytes_per_record / 1e6)
+        ctx.meter.charge(
+            self.logical.iterations * rank_mb * profile.shuffle_cost_s_per_mb,
+            f"{self.name}.rank-shuffles", category="net")
+        return self._emit(inputs[0], out, ctx)
+
+
+class DFTextFileSink(DataflowOperator):
+    op_kind = "sink"
+
+    def _run(self, inputs, bvals, ctx):
+        ch = inputs[0]
+        records = [str(x) for x in ch.payload.records()]
+        ctx.vfs.write(self.logical.path, records, ch.sim_factor,
+                      ch.bytes_per_record)
+        ctx.meter.charge(ctx.profile(self.platform).io_seconds(ch.sim_mb),
+                         f"{self.name}.write", category="io")
+        return ch

@@ -1,0 +1,6 @@
+"""FlinkLite: the Flink-analog pipelined dataflow platform."""
+
+from .channels import FLINK_BROADCAST, FLINK_DATASET
+from .platform import FlinkLitePlatform
+
+__all__ = ["FLINK_BROADCAST", "FLINK_DATASET", "FlinkLitePlatform"]

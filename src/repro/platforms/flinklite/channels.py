@@ -1,0 +1,10 @@
+"""Channel types of the FlinkLite (Flink-analog) platform."""
+
+from ...core.channels import ChannelDescriptor
+
+#: A pipelined distributed dataset.  Modelled as reusable: FlinkLite
+#: materializes eagerly between our execution stages.
+FLINK_DATASET = ChannelDescriptor("flinklite.dataset", "flinklite", True)
+
+#: A broadcast set replicated to every task manager.
+FLINK_BROADCAST = ChannelDescriptor("flinklite.broadcast", "flinklite", True)

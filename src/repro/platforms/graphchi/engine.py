@@ -1,0 +1,99 @@
+"""An out-of-core, single-machine graph engine (the GraphChi analog).
+
+GraphChi processes graphs far larger than RAM on one machine by splitting
+the vertex set into intervals and the edges into *shards* (one per
+interval, holding the edges whose destination falls in it, sorted by
+source).  Each iteration streams the shards from disk in a few sequential
+passes — the "parallel sliding windows" idea — instead of holding the
+adjacency in memory.
+
+The reproduction implements real sharding: edges are partitioned by
+destination interval, per-shard updates accumulate into the interval's
+vertex block, and only one shard (plus the vertex values) is "resident" at
+a time.  The simulated cost model charges sequential disk streaming per
+iteration instead of RAM-speed traversal — slower per pass than JGraph,
+but immune to JGraph's memory ceiling.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+
+@dataclass
+class Shard:
+    """Edges whose destination falls into one vertex interval."""
+
+    interval_start: int
+    interval_end: int  # exclusive
+    edges: list[tuple[int, int]]
+
+
+class ShardedGraph:
+    """A graph partitioned into destination-interval shards."""
+
+    def __init__(self, edges: Iterable[tuple[Hashable, Hashable]],
+                 num_shards: int = 4) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        edge_list = list(edges)
+        vertices = sorted({v for e in edge_list for v in e})
+        #: Dense ids keep interval arithmetic simple.
+        self.id_of = {v: i for i, v in enumerate(vertices)}
+        self.vertex_of = vertices
+        self.num_vertices = len(vertices)
+        self.num_edges = len(edge_list)
+        per_shard = max(1, (self.num_vertices + num_shards - 1) // num_shards)
+        self.boundaries = list(range(per_shard, self.num_vertices, per_shard))
+        self.shards: list[Shard] = []
+        starts = [0] + self.boundaries
+        ends = self.boundaries + [self.num_vertices]
+        buckets: list[list[tuple[int, int]]] = [[] for __ in starts]
+        self.out_degree = [0] * self.num_vertices
+        for src, dst in edge_list:
+            s, d = self.id_of[src], self.id_of[dst]
+            buckets[self._shard_of(d)].append((s, d))
+            self.out_degree[s] += 1
+        for (start, end), bucket in zip(zip(starts, ends), buckets):
+            bucket.sort()  # by source: the sequential-streaming order
+            self.shards.append(Shard(start, end, bucket))
+
+    def _shard_of(self, dense_id: int) -> int:
+        return bisect_right(self.boundaries, dense_id)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+
+class GraphChiEngine:
+    """Iterative vertex updates by streaming shards."""
+
+    def __init__(self, num_shards: int = 4) -> None:
+        self.num_shards = num_shards
+        #: Number of shard loads performed (tests verify out-of-core-ness).
+        self.shard_loads = 0
+
+    def pagerank(self, edges: Iterable[tuple[Hashable, Hashable]],
+                 iterations: int = 10,
+                 damping: float = 0.85) -> dict[Hashable, float]:
+        """PageRank with dangling-mass redistribution, one shard at a time."""
+        graph = ShardedGraph(edges, self.num_shards)
+        n = graph.num_vertices
+        if n == 0:
+            return {}
+        rank = [1.0 / n] * n
+        for __ in range(iterations):
+            incoming = [0.0] * n
+            dangling = sum(rank[v] for v in range(n)
+                           if graph.out_degree[v] == 0)
+            for shard in graph.shards:
+                self.shard_loads += 1
+                # Stream this shard's edges; only its interval is written.
+                for src, dst in shard.edges:
+                    incoming[dst] += rank[src] / graph.out_degree[src]
+            base = (1.0 - damping) / n + damping * dangling / n
+            rank = [base + damping * incoming[v] for v in range(n)]
+        return {graph.vertex_of[v]: rank[v] for v in range(n)}

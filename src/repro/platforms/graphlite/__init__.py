@@ -1,0 +1,7 @@
+"""GraphLite: the Giraph-analog Pregel platform."""
+
+from .engine import PregelEngine, SuperstepStats
+from .platform import GRAPHLITE_DATASET, GraphLitePlatform
+
+__all__ = ["PregelEngine", "SuperstepStats", "GRAPHLITE_DATASET",
+           "GraphLitePlatform"]

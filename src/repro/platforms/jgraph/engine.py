@@ -1,0 +1,93 @@
+"""A small in-process graph library (the JGraph analog).
+
+Adjacency-list directed multigraph with a few classic algorithms.  Fast and
+overhead-free for graphs that fit its (simulated) memory, useless beyond —
+which is exactly the trade-off the paper's CrocoPR experiments exercise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Iterator
+
+
+class Graph:
+    """A directed multigraph over hashable vertices."""
+
+    def __init__(self) -> None:
+        self._adjacency: dict[Hashable, list[Hashable]] = {}
+        self._vertices: set[Hashable] = set()
+        self._num_edges = 0
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[Hashable, Hashable]]) -> "Graph":
+        """Build a graph from ``(src, dst)`` pairs."""
+        g = cls()
+        for src, dst in edges:
+            g.add_edge(src, dst)
+        return g
+
+    def add_edge(self, src: Hashable, dst: Hashable) -> None:
+        """Insert a directed edge (duplicates allowed)."""
+        self._adjacency.setdefault(src, []).append(dst)
+        self._vertices.add(src)
+        self._vertices.add(dst)
+        self._num_edges += 1
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of distinct vertices."""
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges, duplicates included."""
+        return self._num_edges
+
+    def vertices(self) -> Iterator[Hashable]:
+        """Iterate the vertex set."""
+        return iter(self._vertices)
+
+    def out_degree(self, vertex: Hashable) -> int:
+        """Number of outgoing edges of ``vertex``."""
+        return len(self._adjacency.get(vertex, ()))
+
+    def neighbors(self, vertex: Hashable) -> list[Hashable]:
+        """Outgoing neighbours of ``vertex`` (with multiplicity)."""
+        return list(self._adjacency.get(vertex, ()))
+
+    def pagerank(self, iterations: int = 10,
+                 damping: float = 0.85) -> dict[Hashable, float]:
+        """Power-iteration PageRank with dangling-mass redistribution."""
+        n = self.num_vertices
+        if n == 0:
+            return {}
+        rank = {v: 1.0 / n for v in self._vertices}
+        for __ in range(iterations):
+            nxt = {v: 0.0 for v in self._vertices}
+            dangling = 0.0
+            for v, r in rank.items():
+                outs = self._adjacency.get(v)
+                if not outs:
+                    dangling += r
+                    continue
+                share = r / len(outs)
+                for dst in outs:
+                    nxt[dst] += share
+            base = (1.0 - damping) / n + damping * dangling / n
+            rank = {v: base + damping * nxt[v] for v in self._vertices}
+        return rank
+
+    def reachable_from(self, start: Hashable) -> set[Hashable]:
+        """Vertices reachable from ``start`` by directed BFS."""
+        if start not in self._vertices:
+            return set()
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for dst in self._adjacency.get(v, ()):
+                if dst not in seen:
+                    seen.add(dst)
+                    queue.append(dst)
+        return seen

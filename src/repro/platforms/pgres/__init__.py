@@ -1,0 +1,16 @@
+"""Pgres: the Postgres-analog single-node relational platform."""
+
+from .channels import PG_RELATION, Relation
+from .engine import DuplicateTable, OrderedIndex, PgresDatabase, Table, TableNotFound
+from .platform import PgresPlatform
+
+__all__ = [
+    "PG_RELATION",
+    "Relation",
+    "DuplicateTable",
+    "OrderedIndex",
+    "PgresDatabase",
+    "Table",
+    "TableNotFound",
+    "PgresPlatform",
+]

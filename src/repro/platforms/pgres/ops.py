@@ -1,0 +1,319 @@
+"""Pgres execution operators: single-node relational query processing.
+
+Selections use ordered indexes when the logical filter declares a column
+range and the relation is an unmodified base table; joins are hash joins;
+inequality joins fall back to a nested loop whose cost is the product of the
+input cardinalities — the weakness BigDansing's plugged IEJoin works around
+on the other platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ...core.channels import Channel
+from ...core.cost import CostEstimate
+from ..base import ExecutionOperator, charge_operator
+from ..pystreams.channels import PY_COLLECTION
+from .channels import PG_RELATION, Relation
+
+
+class PgExecutionOperator(ExecutionOperator):
+    """Base for Pgres operators (relation in, relation out)."""
+
+    platform = "pgres"
+
+    def input_descriptors(self):
+        arity = self.logical.num_inputs if self.logical is not None else 1
+        return [PG_RELATION] * arity
+
+    def output_descriptor(self):
+        return PG_RELATION
+
+    def _emit(self, template: Channel, rows: list[Any], ctx,
+              base_table: str | None = None,
+              sim_factor: float | None = None,
+              bytes_per_record: float | None = None,
+              charge: bool = True) -> Channel:
+        out = Channel(
+            PG_RELATION,
+            Relation(rows, base_table),
+            template.sim_factor if sim_factor is None else sim_factor,
+            (template.bytes_per_record if bytes_per_record is None
+             else bytes_per_record),
+            len(rows),
+        )
+        if charge:
+            cin = sum(ch.sim_cardinality for ch in self._charge_inputs)
+            charge_operator(ctx, self, cin, out.sim_cardinality)
+        return out
+
+    def execute(self, inputs: Sequence[Channel], broadcasts: Sequence[Channel],
+                ctx) -> Channel:
+        if broadcasts:
+            raise ValueError("pgres operators do not accept broadcast inputs")
+        self._charge_inputs = list(inputs)
+        return self._run(inputs, ctx)
+
+    def _run(self, inputs: Sequence[Channel], ctx) -> Channel:
+        raise NotImplementedError
+
+
+class PgTableSource(PgExecutionOperator):
+    """Scans (and optionally projects) a catalog table.
+
+    Projection pushdown shrinks the per-row bytes — which is exactly what
+    makes "project in Postgres, ship less data" win Figure 10(a).
+    """
+
+    op_kind = "table_source"
+
+    def input_descriptors(self):
+        return []
+
+    def _run(self, inputs, ctx):
+        table = ctx.pgres.table(self.logical.table)
+        projection = self.logical.projection
+        if projection:
+            rows = [{c: r[c] for c in projection} for r in table.rows]
+            base = None  # projected rows are derived
+        else:
+            rows = list(table.rows)
+            base = table.name
+        template = Channel(PG_RELATION, None, table.sim_factor,
+                           table.bytes_per_row)
+        self._charge_inputs = []
+        return self._emit(template, rows, ctx, base_table=base,
+                          bytes_per_record=table.bytes_for_projection(projection))
+
+
+class PgFilter(PgExecutionOperator):
+    """WHERE clause: index scan when possible, else parallel seq scan."""
+
+    def __init__(self, logical):
+        super().__init__(logical)
+        self._used_index = False
+
+    @property
+    def op_kind(self):
+        return "filter_index" if self._used_index else "filter"
+
+    def _index(self, relation: Relation, ctx):
+        logical = self.logical
+        if logical.column is None or relation.base_table is None:
+            return None
+        if ctx.pgres is None or not ctx.pgres.has_table(relation.base_table):
+            return None
+        return ctx.pgres.index_for(relation.base_table, logical.column)
+
+    def _run(self, inputs, ctx):
+        relation: Relation = inputs[0].payload
+        index = self._index(relation, ctx)
+        logical = self.logical
+        if index is not None:
+            table = ctx.pgres.table(relation.base_table)
+            row_ids = index.range_row_ids(logical.low, logical.high)
+            rows = [table.rows[i] for i in row_ids]
+            self._used_index = True
+        else:
+            rows = [r for r in relation.rows if logical.udf(r)]
+            self._used_index = False
+        return self._emit(inputs[0], rows, ctx)
+
+
+class PgProjection(PgExecutionOperator):
+    """SELECT-list expressions (the Map operator on Pgres)."""
+
+    op_kind = "map"
+
+    def _run(self, inputs, ctx):
+        udf = self.logical.udf
+        rows = [udf(r) for r in inputs[0].payload.rows]
+        return self._emit(inputs[0], rows, ctx)
+
+
+class PgJoin(PgExecutionOperator):
+    """Hash equi-join producing ``(left, right)`` pairs."""
+
+    op_kind = "join"
+
+    def _run(self, inputs, ctx):
+        a, b = inputs
+        lk, rk = self.logical.left_key, self.logical.right_key
+        table: dict[Any, list[Any]] = {}
+        for r in b.payload.rows:
+            table.setdefault(rk(r), []).append(r)
+        rows = [(l, r) for l in a.payload.rows for r in table.get(lk(l), ())]
+        factor = self.logical.output_sim_factor(a.sim_factor, b.sim_factor)
+        return self._emit(a, rows, ctx, sim_factor=factor,
+                          bytes_per_record=a.bytes_per_record + b.bytes_per_record)
+
+
+class PgIEJoin(PgExecutionOperator):
+    """Inequality join as a nested loop — cost is |L| x |R|."""
+
+    op_kind = "nested_loop"
+
+    def cost_estimate(self, model, cins, cout):
+        product = cins[0].times(cins[1])
+        profile = model.cluster.profile(self.platform)
+        return CostEstimate(
+            profile.cpu_seconds(product.lower),
+            profile.cpu_seconds(product.upper),
+            product.confidence,
+        )
+
+    def _run(self, inputs, ctx):
+        a, b = inputs
+        conditions = self.logical.conditions
+        rows = [(l, r)
+                for l in a.payload.rows
+                for r in b.payload.rows
+                if all(c.holds(l, r) for c in conditions)]
+        out = self._emit(a, rows, ctx,
+                         sim_factor=max(a.sim_factor, b.sim_factor),
+                         bytes_per_record=a.bytes_per_record + b.bytes_per_record,
+                         charge=False)
+        product = a.sim_cardinality * b.sim_cardinality
+        profile = ctx.profile(self.platform)
+        ctx.meter.charge(profile.cpu_seconds(product), self.name, category="cpu")
+        return out
+
+
+class PgSort(PgExecutionOperator):
+    op_kind = "sort"
+
+    def _run(self, inputs, ctx):
+        key = self.logical.key
+        rows = sorted(inputs[0].payload.rows,
+                      key=key if key is not None else None,
+                      reverse=self.logical.descending)
+        return self._emit(inputs[0], rows, ctx)
+
+
+class PgDistinct(PgExecutionOperator):
+    op_kind = "distinct"
+
+    def _run(self, inputs, ctx):
+        key = self.logical.key
+        seen: set[Any] = set()
+        rows = []
+        for r in inputs[0].payload.rows:
+            k = key(r) if key is not None else _hashable(r)
+            if k not in seen:
+                seen.add(k)
+                rows.append(r)
+        return self._emit(inputs[0], rows, ctx)
+
+
+def _group_factor(logical, actual_groups: int, input_factor: float):
+    """Honour a declared true group count (see the logical operators)."""
+    sim_groups = getattr(logical, "sim_groups", None)
+    if sim_groups is not None and actual_groups:
+        return sim_groups / actual_groups
+    return input_factor
+
+
+def _hashable(row: Any) -> Any:
+    if isinstance(row, dict):
+        return tuple(sorted(row.items()))
+    return row
+
+
+class PgGroupBy(PgExecutionOperator):
+    op_kind = "groupby"
+
+    def _run(self, inputs, ctx):
+        key = self.logical.key
+        groups: dict[Any, list[Any]] = {}
+        for r in inputs[0].payload.rows:
+            groups.setdefault(key(r), []).append(r)
+        return self._emit(inputs[0], list(groups.items()), ctx,
+                          sim_factor=_group_factor(self.logical, len(groups),
+                                                   inputs[0].sim_factor))
+
+
+class PgReduceBy(PgExecutionOperator):
+    """GROUP BY with an aggregate."""
+
+    op_kind = "reduceby"
+
+    def _run(self, inputs, ctx):
+        key = self.logical.key
+        reducer = self.logical.reducer
+        acc: dict[Any, Any] = {}
+        for r in inputs[0].payload.rows:
+            k = key(r)
+            acc[k] = r if k not in acc else reducer(acc[k], r)
+        return self._emit(inputs[0], list(acc.values()), ctx,
+                          sim_factor=_group_factor(self.logical, len(acc),
+                                                   inputs[0].sim_factor))
+
+
+class PgGlobalReduce(PgExecutionOperator):
+    op_kind = "reduce"
+
+    def _run(self, inputs, ctx):
+        rows = inputs[0].payload.rows
+        out: list[Any] = []
+        if rows:
+            acc = rows[0]
+            reducer = self.logical.reducer
+            for r in rows[1:]:
+                acc = reducer(acc, r)
+            out = [acc]
+        return self._emit(inputs[0], out, ctx, sim_factor=1.0)
+
+
+class PgCount(PgExecutionOperator):
+    op_kind = "count"
+
+    def _run(self, inputs, ctx):
+        return self._emit(inputs[0], [len(inputs[0].payload.rows)], ctx,
+                          sim_factor=1.0)
+
+
+class PgUnion(PgExecutionOperator):
+    """UNION ALL."""
+
+    op_kind = "union"
+
+    def _run(self, inputs, ctx):
+        a, b = inputs
+        rows = list(a.payload.rows) + list(b.payload.rows)
+        total_sim = a.sim_cardinality + b.sim_cardinality
+        factor = total_sim / len(rows) if rows else 1.0
+        return self._emit(a, rows, ctx, sim_factor=factor)
+
+
+class PgIntersect(PgExecutionOperator):
+    op_kind = "intersect"
+
+    def _run(self, inputs, ctx):
+        a, b = inputs
+        right = {_hashable(r) for r in b.payload.rows}
+        seen: set[Any] = set()
+        rows = []
+        for r in a.payload.rows:
+            k = _hashable(r)
+            if k in right and k not in seen:
+                seen.add(k)
+                rows.append(r)
+        return self._emit(a, rows, ctx)
+
+
+class PgCollectionSink(PgExecutionOperator):
+    """Ships the result to the driver over the single client connection."""
+
+    op_kind = "collect_sink"
+
+    def output_descriptor(self):
+        return PY_COLLECTION
+
+    def _run(self, inputs, ctx):
+        ch = inputs[0]
+        rows = list(ch.payload.rows)
+        out = Channel(PY_COLLECTION, rows, ch.sim_factor, ch.bytes_per_record,
+                      len(rows))
+        charge_operator(ctx, self, ch.sim_cardinality, out.sim_cardinality)
+        return out

@@ -1,0 +1,6 @@
+"""PyStreams: the JavaStreams-analog in-process platform."""
+
+from .channels import PY_COLLECTION
+from .platform import PyStreamsPlatform
+
+__all__ = ["PY_COLLECTION", "PyStreamsPlatform"]

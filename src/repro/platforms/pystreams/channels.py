@@ -1,0 +1,7 @@
+"""Channel types of the PyStreams (JavaStreams-analog) platform."""
+
+from ...core.channels import ChannelDescriptor
+
+#: A driver-side, in-process materialized collection.  Reusable: any number
+#: of consumers may iterate it (the paper's Java Collection channel).
+PY_COLLECTION = ChannelDescriptor("pystreams.collection", "pystreams", True)

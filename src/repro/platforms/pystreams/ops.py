@@ -1,0 +1,397 @@
+"""PyStreams execution operators: single-threaded in-process pipelines.
+
+The JavaStreams analog.  No start-up cost, no parallelism; per-record work
+is charged at the platform's tuple cost.  All operators speak the
+``pystreams.collection`` channel.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+from ...algorithms.iejoin import ie_join
+from ...algorithms.pagerank import pagerank_edges
+from ...core.channels import Channel
+from ..base import ExecutionOperator, charge_operator
+from .channels import PY_COLLECTION
+
+
+class PyExecutionOperator(ExecutionOperator):
+    """Base for all PyStreams operators (collection in, collection out)."""
+
+    platform = "pystreams"
+
+    def input_descriptors(self):
+        arity = self.logical.num_inputs if self.logical is not None else 1
+        return [PY_COLLECTION] * arity
+
+    def output_descriptor(self):
+        return PY_COLLECTION
+
+    def broadcast_descriptor(self):
+        return PY_COLLECTION
+
+    def _emit(self, template: Channel, payload: list[Any], ctx,
+              sim_factor: float | None = None,
+              bytes_per_record: float | None = None) -> Channel:
+        """Build the output channel and charge this operator's cost."""
+        out = Channel(
+            PY_COLLECTION,
+            payload,
+            template.sim_factor if sim_factor is None else sim_factor,
+            (template.bytes_per_record if bytes_per_record is None
+             else bytes_per_record),
+            len(payload),
+        )
+        cin = sum(ch.sim_cardinality for ch in self._charge_inputs)
+        charge_operator(ctx, self, cin, out.sim_cardinality)
+        return out
+
+    def execute(self, inputs: Sequence[Channel], broadcasts: Sequence[Channel],
+                ctx) -> Channel:
+        self._charge_inputs = list(inputs)
+        return self._run(inputs, [b.payload for b in broadcasts], ctx)
+
+    def _run(self, inputs: Sequence[Channel], bvals: list[Any], ctx) -> Channel:
+        raise NotImplementedError
+
+
+class PyTextFileSource(PyExecutionOperator):
+    """Reads a virtual file into a collection (single-node bandwidth)."""
+
+    op_kind = "source"
+
+    def input_descriptors(self):
+        return []
+
+    def _run(self, inputs, bvals, ctx):
+        vf = ctx.vfs.read(self.logical.path)
+        ctx.meter.charge(ctx.profile(self.platform).io_seconds(vf.sim_mb),
+                         "pystreams.read", category="io")
+        ch = Channel(PY_COLLECTION, list(vf.records), vf.sim_factor,
+                     vf.bytes_per_record, len(vf.records))
+        self._charge_inputs = []
+        return self._emit(ch, ch.payload, ctx)
+
+
+class PyCollectionSource(PyExecutionOperator):
+    """Wraps a driver-side collection; effectively free."""
+
+    op_kind = "source"
+
+    def input_descriptors(self):
+        return []
+
+    def _run(self, inputs, bvals, ctx):
+        data = list(self.logical.data)
+        ch = Channel(PY_COLLECTION, data, self.logical.sim_factor,
+                     self.logical.bytes_per_record, len(data))
+        self._charge_inputs = []
+        return ch
+
+
+class PyMap(PyExecutionOperator):
+    op_kind = "map"
+
+    def _run(self, inputs, bvals, ctx):
+        udf = self.logical.udf
+        out = [udf(x, *bvals) for x in inputs[0].payload]
+        return self._emit(inputs[0], out, ctx,
+                          bytes_per_record=self.logical.bytes_per_record)
+
+
+class PyFlatMap(PyExecutionOperator):
+    op_kind = "flatmap"
+
+    def _run(self, inputs, bvals, ctx):
+        udf = self.logical.udf
+        out = [y for x in inputs[0].payload for y in udf(x, *bvals)]
+        return self._emit(inputs[0], out, ctx,
+                          bytes_per_record=self.logical.bytes_per_record)
+
+
+class PyMapPartitions(PyExecutionOperator):
+    """The whole collection is one partition on the driver."""
+
+    op_kind = "map"
+
+    def _run(self, inputs, bvals, ctx):
+        out = list(self.logical.udf(list(inputs[0].payload), *bvals))
+        return self._emit(inputs[0], out, ctx,
+                          bytes_per_record=self.logical.bytes_per_record)
+
+
+class PyZipWithId(PyExecutionOperator):
+    op_kind = "map"
+
+    def _run(self, inputs, bvals, ctx):
+        out = list(enumerate(inputs[0].payload))
+        return self._emit(inputs[0], out, ctx)
+
+
+class PyFilter(PyExecutionOperator):
+    op_kind = "filter"
+
+    def _run(self, inputs, bvals, ctx):
+        udf = self.logical.udf
+        out = [x for x in inputs[0].payload if udf(x, *bvals)]
+        return self._emit(inputs[0], out, ctx)
+
+
+class PySample(PyExecutionOperator):
+    """Draws a sample; index-based, so cost scales with the sample size."""
+
+    op_kind = "sample"
+
+    def __init__(self, logical):
+        super().__init__(logical)
+        self._invocations = 0
+
+    def _run(self, inputs, bvals, ctx):
+        data = inputs[0].payload
+        logical = self.logical
+        if logical.size is not None:
+            k = min(logical.size, len(data))
+        else:
+            k = int(len(data) * logical.fraction)
+        if logical.method == "first":
+            out = list(data[:k])
+        else:
+            seed = (f"{ctx.config.get('seed', 42)}|{logical.seed}"
+                    f"|{logical.name}|{self._invocations}")
+            rng = random.Random(seed)
+            out = [data[rng.randrange(len(data))] for __ in range(k)] if data else []
+        self._invocations += 1
+        return self._emit(inputs[0], out, ctx, sim_factor=1.0)
+
+
+class PyDistinct(PyExecutionOperator):
+    op_kind = "distinct"
+
+    def _run(self, inputs, bvals, ctx):
+        key = self.logical.key
+        if key is None:
+            seen, out = set(), []
+            for x in inputs[0].payload:
+                if x not in seen:
+                    seen.add(x)
+                    out.append(x)
+        else:
+            seen, out = set(), []
+            for x in inputs[0].payload:
+                k = key(x)
+                if k not in seen:
+                    seen.add(k)
+                    out.append(x)
+        return self._emit(inputs[0], out, ctx)
+
+
+class PySort(PyExecutionOperator):
+    op_kind = "sort"
+
+    def _run(self, inputs, bvals, ctx):
+        key = self.logical.key
+        out = sorted(inputs[0].payload,
+                     key=key if key is not None else None,
+                     reverse=self.logical.descending)
+        return self._emit(inputs[0], out, ctx)
+
+
+def _group_factor(logical, actual_groups: int, input_factor: float):
+    """Output sim factor for grouping ops: honour a declared true group
+    count, else carry the input's factor through."""
+    sim_groups = getattr(logical, "sim_groups", None)
+    if sim_groups is not None and actual_groups:
+        return sim_groups / actual_groups
+    return input_factor
+
+
+class PyGroupBy(PyExecutionOperator):
+    """Groups into ``(key, [members])`` quanta.
+
+    Accepts ``GroupBy`` or ``ReduceBy`` logicals (the latter as the first
+    half of the 1-to-n Reduce mapping of the paper's Figure 4).
+    """
+
+    op_kind = "groupby"
+
+    def _run(self, inputs, bvals, ctx):
+        key = self.logical.key
+        groups: dict[Any, list[Any]] = {}
+        for x in inputs[0].payload:
+            groups.setdefault(key(x), []).append(x)
+        return self._emit(inputs[0], list(groups.items()), ctx,
+                          sim_factor=_group_factor(self.logical, len(groups),
+                                                   inputs[0].sim_factor))
+
+
+class PyReduceGroups(PyExecutionOperator):
+    """Folds ``(key, [members])`` quanta into ``(key, aggregate)``.
+
+    The second half of the composite ReduceBy alternative.
+    """
+
+    op_kind = "map"
+
+    def _run(self, inputs, bvals, ctx):
+        reducer = self.logical.reducer
+        out = []
+        for __, members in inputs[0].payload:
+            acc = members[0]
+            for m in members[1:]:
+                acc = reducer(acc, m)
+            out.append(acc)
+        return self._emit(inputs[0], out, ctx)
+
+
+class PyReduceBy(PyExecutionOperator):
+    op_kind = "reduceby"
+
+    def _run(self, inputs, bvals, ctx):
+        key = self.logical.key
+        reducer = self.logical.reducer
+        acc: dict[Any, Any] = {}
+        for x in inputs[0].payload:
+            k = key(x)
+            acc[k] = x if k not in acc else reducer(acc[k], x)
+        return self._emit(inputs[0], list(acc.values()), ctx,
+                          sim_factor=_group_factor(self.logical, len(acc),
+                                                   inputs[0].sim_factor))
+
+
+class PyGlobalReduce(PyExecutionOperator):
+    op_kind = "reduce"
+
+    def _run(self, inputs, bvals, ctx):
+        data = inputs[0].payload
+        out = []
+        if data:
+            acc = data[0]
+            reducer = self.logical.reducer
+            for x in data[1:]:
+                acc = reducer(acc, x)
+            out = [acc]
+        return self._emit(inputs[0], out, ctx, sim_factor=1.0)
+
+
+class PyCount(PyExecutionOperator):
+    op_kind = "count"
+
+    def _run(self, inputs, bvals, ctx):
+        return self._emit(inputs[0], [len(inputs[0].payload)], ctx,
+                          sim_factor=1.0)
+
+
+class PyCache(PyExecutionOperator):
+    """No-op: collections are already materialized and reusable."""
+
+    op_kind = "cache"
+
+    def _run(self, inputs, bvals, ctx):
+        return inputs[0]
+
+
+class PyUnion(PyExecutionOperator):
+    op_kind = "union"
+
+    def _run(self, inputs, bvals, ctx):
+        a, b = inputs
+        payload = list(a.payload) + list(b.payload)
+        total_actual = len(payload)
+        total_sim = (a.sim_cardinality + b.sim_cardinality)
+        factor = total_sim / total_actual if total_actual else 1.0
+        return self._emit(a, payload, ctx, sim_factor=factor)
+
+
+class PyIntersect(PyExecutionOperator):
+    op_kind = "intersect"
+
+    def _run(self, inputs, bvals, ctx):
+        a, b = inputs
+        right = set(b.payload)
+        seen = set()
+        out = []
+        for x in a.payload:
+            if x in right and x not in seen:
+                seen.add(x)
+                out.append(x)
+        return self._emit(a, out, ctx)
+
+
+class PyJoin(PyExecutionOperator):
+    """Hash equi-join producing ``(left, right)`` pairs."""
+
+    op_kind = "join"
+
+    def _run(self, inputs, bvals, ctx):
+        a, b = inputs
+        lk, rk = self.logical.left_key, self.logical.right_key
+        table: dict[Any, list[Any]] = {}
+        for r in b.payload:
+            table.setdefault(rk(r), []).append(r)
+        out = [(l, r) for l in a.payload for r in table.get(lk(l), ())]
+        factor = self.logical.output_sim_factor(a.sim_factor, b.sim_factor)
+        bpr = a.bytes_per_record + b.bytes_per_record
+        return self._emit(a, out, ctx, sim_factor=factor, bytes_per_record=bpr)
+
+
+class PyCartesian(PyExecutionOperator):
+    op_kind = "cartesian"
+
+    def _run(self, inputs, bvals, ctx):
+        a, b = inputs
+        out = [(l, r) for l in a.payload for r in b.payload]
+        factor = a.sim_factor * b.sim_factor
+        bpr = a.bytes_per_record + b.bytes_per_record
+        return self._emit(a, out, ctx, sim_factor=factor, bytes_per_record=bpr)
+
+
+class PyIEJoin(PyExecutionOperator):
+    """The plugged-in fast inequality join (see :mod:`repro.algorithms.iejoin`)."""
+
+    op_kind = "iejoin"
+
+    def _run(self, inputs, bvals, ctx):
+        a, b = inputs
+        conditions = [(c.left_key, c.op, c.right_key)
+                      for c in self.logical.conditions]
+        out = ie_join(a.payload, b.payload, conditions)
+        factor = max(a.sim_factor, b.sim_factor)
+        bpr = a.bytes_per_record + b.bytes_per_record
+        return self._emit(a, out, ctx, sim_factor=factor, bytes_per_record=bpr)
+
+
+class PyPageRank(PyExecutionOperator):
+    """PageRank on plain collections (single-threaded)."""
+
+    op_kind = "pagerank"
+
+    def _run(self, inputs, bvals, ctx):
+        ranks = pagerank_edges(inputs[0].payload,
+                               self.logical.iterations, self.logical.damping)
+        out = sorted(ranks.items())
+        return self._emit(inputs[0], out, ctx)
+
+
+class PyCollectionSink(PyExecutionOperator):
+    """Terminal operator: the payload is the job result."""
+
+    op_kind = "sink"
+
+    def _run(self, inputs, bvals, ctx):
+        return inputs[0]
+
+
+class PyTextFileSink(PyExecutionOperator):
+    """Writes quanta to a virtual file, one per line."""
+
+    op_kind = "sink"
+
+    def _run(self, inputs, bvals, ctx):
+        ch = inputs[0]
+        ctx.vfs.write(self.logical.path, [str(x) for x in ch.payload],
+                      ch.sim_factor, ch.bytes_per_record)
+        ctx.meter.charge(ctx.profile(self.platform).io_seconds(ch.sim_mb),
+                         "pystreams.write", category="io")
+        return ch

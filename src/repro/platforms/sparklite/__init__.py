@@ -1,0 +1,6 @@
+"""SparkLite: the Spark-analog distributed batch platform."""
+
+from .channels import SPARK_BROADCAST, SPARK_CACHED, SPARK_RDD
+from .platform import SparkLitePlatform
+
+__all__ = ["SPARK_BROADCAST", "SPARK_CACHED", "SPARK_RDD", "SparkLitePlatform"]

@@ -1,0 +1,13 @@
+"""Channel types of the SparkLite (Spark-analog) platform."""
+
+from ...core.channels import ChannelDescriptor
+
+#: A lazy-ish distributed dataset.  NOT reusable: feeding several consumers
+#: requires caching first (the paper's RDD channel).
+SPARK_RDD = ChannelDescriptor("sparklite.rdd", "sparklite", False)
+
+#: A cached (materialized, reusable) RDD.
+SPARK_CACHED = ChannelDescriptor("sparklite.cached_rdd", "sparklite", True)
+
+#: A broadcast variable replicated to every worker.
+SPARK_BROADCAST = ChannelDescriptor("sparklite.broadcast", "sparklite", True)

@@ -1,0 +1,118 @@
+"""Platform registration for SparkLite: channels, conversions, mappings."""
+
+from __future__ import annotations
+
+import itertools
+
+from ...core import operators as ops
+from ...core.channels import Channel, Conversion, HDFS_FILE
+from ...core.mappings import OperatorMapping
+from ..base import Platform
+from ..distributed import PartitionedDataset
+from ..pystreams.channels import PY_COLLECTION
+from . import ops as x
+from .channels import SPARK_BROADCAST, SPARK_CACHED, SPARK_RDD
+
+_tmp_counter = itertools.count(1)
+
+
+def _parallelize(channel: Channel, ctx) -> Channel:
+    n = ctx.profile("sparklite").parallelism
+    dataset = PartitionedDataset.from_records(channel.payload, n)
+    return channel.with_payload(dataset, SPARK_RDD, dataset.count())
+
+
+def _collect(channel: Channel, ctx) -> Channel:
+    records = channel.payload.to_list()
+    return channel.with_payload(records, PY_COLLECTION, len(records))
+
+
+def _cache(channel: Channel, ctx) -> Channel:
+    return channel.with_payload(channel.payload, SPARK_CACHED,
+                                channel.payload.count())
+
+
+def _uncache(channel: Channel, ctx) -> Channel:
+    return channel.with_payload(channel.payload, SPARK_RDD,
+                                channel.payload.count())
+
+
+def _to_broadcast(channel: Channel, ctx) -> Channel:
+    return channel.with_payload(list(channel.payload), SPARK_BROADCAST,
+                                len(channel.payload))
+
+
+def _save_to_hdfs(channel: Channel, ctx) -> Channel:
+    path = f"hdfs://tmp/sparklite-{next(_tmp_counter)}"
+    records = channel.payload.to_list()
+    ctx.vfs.write(path, records, channel.sim_factor, channel.bytes_per_record)
+    return channel.with_payload(path, HDFS_FILE, len(records))
+
+
+def _read_from_hdfs(channel: Channel, ctx) -> Channel:
+    vf = ctx.vfs.read(channel.payload)
+    n = ctx.profile("sparklite").parallelism
+    dataset = PartitionedDataset.from_records(vf.records, n)
+    return Channel(SPARK_RDD, dataset, vf.sim_factor, vf.bytes_per_record,
+                   dataset.count())
+
+
+class SparkLitePlatform(Platform):
+    """The Spark analog: wide parallelism, heavy job overheads, caching."""
+
+    name = "sparklite"
+
+    def channels(self):
+        return [SPARK_RDD, SPARK_CACHED, SPARK_BROADCAST]
+
+    def conversions(self):
+        net = 120.0
+        return [
+            Conversion(PY_COLLECTION, SPARK_RDD, _parallelize,
+                       mb_per_s=net, overhead_s=0.1, name="spark-parallelize"),
+            Conversion(SPARK_RDD, PY_COLLECTION, _collect,
+                       mb_per_s=net, overhead_s=0.03, name="spark-collect"),
+            Conversion(SPARK_CACHED, PY_COLLECTION, _collect,
+                       mb_per_s=net, overhead_s=0.03, name="spark-collect-cached"),
+            Conversion(SPARK_RDD, SPARK_CACHED, _cache,
+                       mb_per_s=2000.0, overhead_s=0.05, name="spark-cache"),
+            Conversion(SPARK_CACHED, SPARK_RDD, _uncache,
+                       mb_per_s=1e9, overhead_s=0.0, name="spark-cached-as-rdd"),
+            Conversion(PY_COLLECTION, SPARK_BROADCAST, _to_broadcast,
+                       mb_per_s=net / 4, overhead_s=0.01, name="spark-broadcast"),
+            Conversion(SPARK_RDD, HDFS_FILE, _save_to_hdfs,
+                       mb_per_s=1000.0, overhead_s=0.2, name="spark-save-hdfs"),
+            Conversion(SPARK_CACHED, HDFS_FILE, _save_to_hdfs,
+                       mb_per_s=1000.0, overhead_s=0.2,
+                       name="spark-save-hdfs-cached"),
+            Conversion(HDFS_FILE, SPARK_RDD, _read_from_hdfs,
+                       mb_per_s=1000.0, overhead_s=0.2, name="spark-read-hdfs"),
+        ]
+
+    def mappings(self):
+        m = OperatorMapping
+        return [
+            m(ops.TextFileSource, lambda op: [x.SparkTextFileSource(op)]),
+            m(ops.CollectionSource, lambda op: [x.SparkCollectionSource(op)]),
+            m(ops.Map, lambda op: [x.SparkMap(op)]),
+            m(ops.FlatMap, lambda op: [x.SparkFlatMap(op)]),
+            m(ops.Filter, lambda op: [x.SparkFilter(op)]),
+            m(ops.MapPartitions, lambda op: [x.SparkMapPartitions(op)]),
+            m(ops.ZipWithId, lambda op: [x.SparkZipWithId(op)]),
+            m(ops.Sample, lambda op: [x.SparkSample(op)]),
+            m(ops.Distinct, lambda op: [x.SparkDistinct(op)]),
+            m(ops.Sort, lambda op: [x.SparkSort(op)]),
+            m(ops.GroupBy, lambda op: [x.SparkGroupBy(op)]),
+            m(ops.ReduceBy, lambda op: [x.SparkReduceBy(op)]),
+            m(ops.GlobalReduce, lambda op: [x.SparkGlobalReduce(op)]),
+            m(ops.Count, lambda op: [x.SparkCount(op)]),
+            m(ops.Cache, lambda op: [x.SparkCache(op)]),
+            m(ops.Union, lambda op: [x.SparkUnion(op)]),
+            m(ops.Intersect, lambda op: [x.SparkIntersect(op)]),
+            m(ops.Join, lambda op: [x.SparkJoin(op)]),
+            m(ops.CartesianProduct, lambda op: [x.SparkCartesian(op)]),
+            m(ops.IEJoin, lambda op: [x.SparkIEJoin(op)]),
+            m(ops.PageRank, lambda op: [x.SparkPageRank(op)]),
+            m(ops.CollectionSink, lambda op: [x.SparkCollectionSink(op)]),
+            m(ops.TextFileSink, lambda op: [x.SparkTextFileSink(op)]),
+        ]

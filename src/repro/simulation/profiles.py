@@ -1,0 +1,202 @@
+"""Hardware and platform performance profiles for the virtual cluster.
+
+The paper's testbed is a 10-node cluster (2 GHz quad-core Xeon, 32 GB RAM,
+1 GigE) running Spark, Flink, JavaStreams, Postgres, Giraph and JGraph.  The
+reproduction replaces each platform with a Python engine whose *performance
+profile* — start-up latency, per-stage dispatch overhead, effective
+parallelism, per-record cost, I/O and network bandwidth, memory capacity —
+is calibrated from the constants the paper reports (e.g. big-data-platform
+job overheads dominating small inputs, Postgres bulk load being ~3x the full
+cross-platform runtime, JGraph failing beyond ~10% of the pagelinks graph).
+
+All values are in simulated units: seconds, MB, records.  They are plain
+data so the cost learner (``repro.learn``) can re-fit them from logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """The virtual cluster the distributed engines run on."""
+
+    nodes: int = 10
+    cores_per_node: int = 4
+    memory_per_node_mb: float = 32_768.0
+    disk_mb_per_s: float = 100.0
+    network_mb_per_s: float = 120.0
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+    @property
+    def aggregate_disk_mb_per_s(self) -> float:
+        """All nodes reading their local blocks at once (HDFS-style)."""
+        return self.nodes * self.disk_mb_per_s
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """Performance characteristics of one data processing platform.
+
+    Attributes:
+        name: Platform key (matches ``Platform.name``).
+        startup_s: One-off cost the first time a job touches the platform
+            (JVM/driver/context start-up; connection set-up for Postgres).
+        stage_overhead_s: Dispatch cost per execution stage (Spark job
+            scheduling, Flink task deployment, query planning...).
+        parallelism: Effective parallel lanes for record processing.
+        tuple_cost_s: Simulated seconds to process one record of unit work
+            on ONE lane.  Per-operator work factors multiply this.
+        io_mb_per_s: Aggregate bandwidth for reading/writing files.
+        net_mb_per_s: Bandwidth for moving data in/out of the platform
+            (collects, broadcasts, exports).
+        memory_cap_mb: Simulated memory capacity; engines raise
+            :class:`~repro.simulation.cluster.SimulatedOutOfMemory` beyond it.
+        shuffle_cost_s_per_mb: Extra cost per MB crossing a shuffle boundary.
+    """
+
+    name: str
+    startup_s: float
+    stage_overhead_s: float
+    parallelism: int
+    tuple_cost_s: float
+    io_mb_per_s: float
+    net_mb_per_s: float
+    memory_cap_mb: float
+    shuffle_cost_s_per_mb: float = 0.0
+
+    def cpu_seconds(self, records: float, work: float = 1.0) -> float:
+        """Simulated seconds to process ``records`` of ``work`` complexity."""
+        if records <= 0:
+            return 0.0
+        return records * work * self.tuple_cost_s / self.parallelism
+
+    def io_seconds(self, mb: float) -> float:
+        """Simulated seconds to read or write ``mb`` megabytes."""
+        if mb <= 0:
+            return 0.0
+        return mb / self.io_mb_per_s
+
+    def transfer_seconds(self, mb: float) -> float:
+        """Simulated seconds to move ``mb`` megabytes in or out."""
+        if mb <= 0:
+            return 0.0
+        return mb / self.net_mb_per_s
+
+
+_HW = HardwareProfile()
+
+#: Calibrated platform profiles.  These are the *true* simulation constants;
+#: the optimizer's cost model approximates them (exactly by default, or via
+#: parameters learned from logs by ``repro.learn``).
+PLATFORM_PROFILES: dict[str, PlatformProfile] = {
+    # JavaStreams analog: zero start-up, single-threaded, cheap per record.
+    "pystreams": PlatformProfile(
+        name="pystreams",
+        startup_s=0.0,
+        stage_overhead_s=0.001,
+        parallelism=1,
+        tuple_cost_s=1.0e-6,
+        io_mb_per_s=_HW.disk_mb_per_s,
+        net_mb_per_s=500.0,  # in-process hand-off
+        memory_cap_mb=20_480.0,
+    ),
+    # Spark analog: heavy start-up and per-job overhead, wide parallelism.
+    "sparklite": PlatformProfile(
+        name="sparklite",
+        startup_s=6.0,
+        stage_overhead_s=0.35,
+        parallelism=_HW.total_cores,
+        tuple_cost_s=2.0e-6,
+        io_mb_per_s=_HW.aggregate_disk_mb_per_s,
+        net_mb_per_s=_HW.network_mb_per_s,
+        memory_cap_mb=_HW.nodes * 20_480.0,
+        shuffle_cost_s_per_mb=0.008,
+    ),
+    # Flink analog: lighter dispatch, pipelined, slightly different constants.
+    "flinklite": PlatformProfile(
+        name="flinklite",
+        startup_s=4.5,
+        stage_overhead_s=0.2,
+        parallelism=_HW.total_cores,
+        tuple_cost_s=1.7e-6,
+        io_mb_per_s=_HW.aggregate_disk_mb_per_s,
+        net_mb_per_s=_HW.network_mb_per_s,
+        memory_cap_mb=_HW.nodes * 20_480.0,
+        shuffle_cost_s_per_mb=0.006,
+    ),
+    # Postgres analog: instant start, 4-way parallel scans, costly loads.
+    "pgres": PlatformProfile(
+        name="pgres",
+        startup_s=0.05,
+        stage_overhead_s=0.01,
+        parallelism=4,
+        tuple_cost_s=1.2e-6,
+        io_mb_per_s=_HW.disk_mb_per_s,
+        net_mb_per_s=40.0,  # single JDBC-ish pipe for exports/loads
+        memory_cap_mb=20_480.0,
+    ),
+    # Giraph analog: very heavy start-up, per-superstep synchronisation.
+    "graphlite": PlatformProfile(
+        name="graphlite",
+        startup_s=20.0,
+        stage_overhead_s=0.8,
+        parallelism=_HW.total_cores,
+        tuple_cost_s=2.4e-6,
+        io_mb_per_s=_HW.aggregate_disk_mb_per_s,
+        net_mb_per_s=_HW.network_mb_per_s,
+        memory_cap_mb=_HW.nodes * 20_480.0,
+    ),
+    # GraphChi analog: ONE machine, out-of-core shard streaming.  The CPU
+    # side uses the few local cores; the defining cost is re-reading the
+    # edge shards from disk every iteration (priced via shuffle rate =
+    # 1/disk bandwidth for the optimizer's estimate).
+    "graphchi": PlatformProfile(
+        name="graphchi",
+        startup_s=1.0,
+        stage_overhead_s=0.1,
+        parallelism=4,
+        tuple_cost_s=4.0e-7,
+        io_mb_per_s=_HW.disk_mb_per_s,
+        net_mb_per_s=500.0,
+        memory_cap_mb=1_000_000.0,  # out-of-core: disk is the limit
+        shuffle_cost_s_per_mb=1.0 / _HW.disk_mb_per_s,
+    ),
+    # JGraph analog: in-process graph library, small memory ceiling.
+    "jgraph": PlatformProfile(
+        name="jgraph",
+        startup_s=0.0,
+        stage_overhead_s=0.002,
+        parallelism=1,
+        tuple_cost_s=1.5e-7,
+        io_mb_per_s=_HW.disk_mb_per_s,
+        net_mb_per_s=500.0,
+        memory_cap_mb=2_048.0,
+    ),
+}
+
+
+def hardware_profile() -> HardwareProfile:
+    """The default virtual cluster hardware."""
+    return _HW
+
+
+def platform_profile(name: str) -> PlatformProfile:
+    """Look up a platform profile by name.
+
+    Raises:
+        KeyError: If no profile is registered under ``name``.
+    """
+    return PLATFORM_PROFILES[name]
+
+
+def with_overrides(name: str, **changes: float) -> PlatformProfile:
+    """A copy of a registered profile with some fields replaced.
+
+    Useful in tests and what-if experiments (e.g. a slower network).
+    """
+    return replace(PLATFORM_PROFILES[name], **changes)

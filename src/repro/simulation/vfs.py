@@ -1,0 +1,124 @@
+"""Virtual file systems: a simulated HDFS and a simulated local disk.
+
+Files hold *real* Python records (so engines compute correct results) plus
+*simulated* size metadata (so the clock charges paper-scale I/O).  A file
+written with ``sim_factor=1000`` behaves, cost-wise, as if it held 1000x
+its actual records — this is how laptop-sized inputs stand in for the
+paper's multi-gigabyte datasets.
+
+Paths use URI-style schemes: ``hdfs://...`` for the distributed store and
+``file://...`` for the single-node local store.  The scheme decides which
+bandwidth applies when an engine reads the file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+HDFS_SCHEME = "hdfs"
+LOCAL_SCHEME = "file"
+_KNOWN_SCHEMES = (HDFS_SCHEME, LOCAL_SCHEME)
+
+
+class FileNotFound(KeyError):
+    """Raised when reading a path that was never written."""
+
+
+def scheme_of(path: str) -> str:
+    """The scheme of a VFS path.
+
+    Raises:
+        ValueError: If the path has no known scheme.
+    """
+    for scheme in _KNOWN_SCHEMES:
+        if path.startswith(scheme + "://"):
+            return scheme
+    raise ValueError(f"VFS path must start with hdfs:// or file://, got {path!r}")
+
+
+@dataclass
+class VirtualFile:
+    """One file in a virtual store.
+
+    Attributes:
+        path: Full URI, e.g. ``hdfs://data/points.csv``.
+        records: The actual in-memory records (lines, tuples, ...).
+        sim_factor: Each actual record stands for this many simulated ones.
+        bytes_per_record: Simulated size of one simulated record.
+    """
+
+    path: str
+    records: list[Any] = field(repr=False)
+    sim_factor: float = 1.0
+    bytes_per_record: float = 100.0
+
+    @property
+    def scheme(self) -> str:
+        return scheme_of(self.path)
+
+    @property
+    def sim_record_count(self) -> float:
+        """Number of simulated records the file stands for."""
+        return len(self.records) * self.sim_factor
+
+    @property
+    def sim_mb(self) -> float:
+        """Simulated file size in MB."""
+        return self.sim_record_count * self.bytes_per_record / 1e6
+
+
+class VirtualFileSystem:
+    """An in-memory namespace of :class:`VirtualFile` objects."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, VirtualFile] = {}
+
+    def write(
+        self,
+        path: str,
+        records: Iterable[Any],
+        sim_factor: float = 1.0,
+        bytes_per_record: float = 100.0,
+    ) -> VirtualFile:
+        """Create or replace a file.
+
+        Args:
+            path: URI with an ``hdfs://`` or ``file://`` scheme.
+            records: Actual records to store (materialized into a list).
+            sim_factor: Simulated records per actual record.
+            bytes_per_record: Simulated bytes per simulated record.
+        """
+        scheme_of(path)  # validate
+        vf = VirtualFile(path, list(records), sim_factor, bytes_per_record)
+        self._files[path] = vf
+        return vf
+
+    def read(self, path: str) -> VirtualFile:
+        """Look up a file.
+
+        Raises:
+            FileNotFound: If the path was never written.
+        """
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFound(path) from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        """Remove a file; removing a missing file is an error.
+
+        Raises:
+            FileNotFound: If the path was never written.
+        """
+        try:
+            del self._files[path]
+        except KeyError:
+            raise FileNotFound(path) from None
+
+    def listdir(self, prefix: str) -> list[str]:
+        """All paths starting with ``prefix``, sorted."""
+        return sorted(p for p in self._files if p.startswith(prefix))

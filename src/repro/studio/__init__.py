@@ -1,0 +1,5 @@
+"""Text-mode plan inspection (the Rheem Studio stand-in)."""
+
+from .visualize import explain, plan_to_dot, render_ascii
+
+__all__ = ["explain", "plan_to_dot", "render_ascii"]

@@ -1,0 +1,109 @@
+"""Plan inspection: ASCII rendering, Graphviz export, and EXPLAIN.
+
+The paper's Rheem Studio is a drag-and-drop GUI; its reproduction-scale
+stand-in is textual: render any Rheem plan as an ASCII tree or Graphviz
+``dot`` source, and ``explain`` a plan the way a DBMS explains a query —
+showing the platform the optimizer picked per operator, the conversions it
+inserted and the estimated cost.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from ..core.context import RheemContext
+from ..core.operators import LoopOperator, Operator
+from ..core.optimizer import ChannelSourceDecision, LoopDecision
+from ..core.plan import RheemPlan
+
+
+def render_ascii(plan: RheemPlan) -> str:
+    """A topological, indentation-free listing with edge annotations."""
+    out = StringIO()
+    for op in plan.operators():
+        inputs = ", ".join(ref.op.name for ref in op.inputs
+                           if ref is not None)
+        side = ", ".join(ref.op.name for ref in op.side_inputs)
+        line = f"{op.name} <#{op.id}>"
+        if inputs:
+            line += f"  <- {inputs}"
+        if side:
+            line += f"  (broadcast: {side})"
+        print(line, file=out)
+        if isinstance(op, LoopOperator):
+            for body_op in op.body.operators():
+                print(f"    [body] {body_op.name} <#{body_op.id}>", file=out)
+    return out.getvalue()
+
+
+def plan_to_dot(plan: RheemPlan, title: str = "rheem plan") -> str:
+    """Graphviz source for a Rheem plan (loop bodies as clusters)."""
+    out = StringIO()
+    print(f'digraph "{title}" {{', file=out)
+    print("  rankdir=BT; node [shape=box, fontname=Helvetica];", file=out)
+
+    def emit(op: Operator) -> None:
+        shape = "ellipse" if op.is_source else (
+            "doubleoctagon" if op.is_sink else "box")
+        print(f'  op{op.id} [label="{op.name}", shape={shape}];', file=out)
+
+    for op in plan.operators():
+        emit(op)
+        for ref in op.inputs:
+            if ref is not None:
+                print(f"  op{ref.op.id} -> op{op.id};", file=out)
+        for ref in op.side_inputs:
+            print(f'  op{ref.op.id} -> op{op.id} [style=dotted, '
+                  f'label="broadcast"];', file=out)
+        if isinstance(op, LoopOperator):
+            print(f"  subgraph cluster_loop{op.id} {{", file=out)
+            print(f'    label="{op.name} body";', file=out)
+            for body_op in op.body.operators():
+                emit(body_op)
+            print("  }", file=out)
+            for body_op in op.body.operators():
+                for ref in body_op.inputs:
+                    if ref is not None:
+                        print(f"    op{ref.op.id} -> op{body_op.id};",
+                              file=out)
+                for ref in body_op.side_inputs:
+                    print(f"    op{ref.op.id} -> op{body_op.id} "
+                          f"[style=dotted];", file=out)
+    print("}", file=out)
+    return out.getvalue()
+
+
+def explain(ctx: RheemContext, plan: RheemPlan,
+            allowed_platforms: set[str] | None = None) -> str:
+    """EXPLAIN: the chosen execution strategy, without running the plan."""
+    optimizer = ctx.optimizer(allowed_platforms)
+    best, cards = optimizer.pick_best(plan)
+    out = StringIO()
+    print(f"estimated cost: {best.cost} "
+          f"(gm {best.cost.geometric_mean:.2f}s simulated)", file=out)
+    print(f"platforms: {', '.join(sorted(best.platforms))}", file=out)
+    print("operators:", file=out)
+    for op in plan.operators():
+        decision = best.decisions[op.id]
+        card = cards[op.id]
+        if isinstance(decision, LoopDecision):
+            where = (f"loop x{op.expected_iterations()} over "
+                     f"{', '.join(sorted(decision.platforms))}")
+        elif isinstance(decision, ChannelSourceDecision):
+            where = f"materialized {decision.descriptor.name}"
+        else:
+            where = " + ".join(x.name for x in decision.ops)
+        print(f"  {op.name:<28} -> {where:<42} out~{card}", file=out)
+    conversions = [(key, path) for key, path in best.conversions.items()
+                   if path.steps]
+    if conversions:
+        print("data movement:", file=out)
+        by_id = {op.id: op for op in plan.operators()}
+        for (producer_id, consumer_id, __), path in conversions:
+            producer = by_id.get(producer_id)
+            consumer = by_id.get(consumer_id)
+            steps = " -> ".join(s.name for s in path.steps)
+            print(f"  {getattr(producer, 'name', producer_id)} => "
+                  f"{getattr(consumer, 'name', consumer_id)}: {steps} "
+                  f"(~{path.cost:.2f}s)", file=out)
+    return out.getvalue()

@@ -1,0 +1,82 @@
+"""The Tax dataset (Fan et al.) stand-in for data cleaning experiments.
+
+Tax is the standard benchmark for denial constraints: person records with
+correlated ``salary``/``tax`` fields plus a controlled number of injected
+violations of the constraint
+
+    NOT(t1.salary > t2.salary AND t1.tax < t2.tax)
+
+("someone earns more but pays less tax").  The generator returns the ids of
+the corrupted records so tests can verify the cleaner finds exactly the
+planted errors.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TaxRecord:
+    """One person's tax filing."""
+
+    rid: int
+    zip_code: int
+    salary: float
+    tax: float
+
+    def as_dict(self) -> dict:
+        return {"rid": self.rid, "zip": self.zip_code,
+                "salary": self.salary, "tax": self.tax}
+
+
+def tax_records(
+    count: int,
+    violations: int = 10,
+    tax_rate: float = 0.3,
+    seed: int = 41,
+) -> tuple[list[TaxRecord], set[int]]:
+    """Generate records where ``tax = rate * salary`` except for
+    ``violations`` corrupted records whose tax is implausibly low.
+
+    Returns:
+        The records and the set of corrupted record ids.
+    """
+    if violations > count:
+        raise ValueError("cannot inject more violations than records")
+    rng = random.Random(seed)
+    records = []
+    for rid in range(count):
+        salary = rng.uniform(20_000.0, 200_000.0)
+        records.append(TaxRecord(
+            rid=rid,
+            zip_code=rng.randrange(100),
+            salary=round(salary, 2),
+            tax=round(salary * tax_rate, 2),
+        ))
+    corrupted = set(rng.sample(range(count), violations))
+    for rid in corrupted:
+        rec = records[rid]
+        # Big salary, suspiciously small tax: violates against most records.
+        records[rid] = TaxRecord(rec.rid, rec.zip_code,
+                                 salary=195_000.0 + rid,
+                                 tax=round(rng.uniform(10.0, 100.0), 2))
+    return records, corrupted
+
+
+def write_tax(ctx, path: str, count: int, sim_rows: float,
+              violations: int = 10, seed: int = 41) -> set[int]:
+    """Write a tax dataset to the VFS as CSV lines; returns corrupted ids."""
+    records, corrupted = tax_records(count, violations, seed=seed)
+    lines = [f"{r.rid},{r.zip_code},{r.salary},{r.tax}" for r in records]
+    ctx.vfs.write(path, lines, sim_factor=sim_rows / len(lines),
+                  bytes_per_record=60.0)
+    return corrupted
+
+
+def parse_tax(line: str) -> dict:
+    """Parse a CSV tax line into a record dict."""
+    rid, zip_code, salary, tax = line.split(",")
+    return {"rid": int(rid), "zip": int(zip_code),
+            "salary": float(salary), "tax": float(tax)}

@@ -1,0 +1,49 @@
+"""Synthetic text corpora (Wikipedia-abstracts stand-in).
+
+The paper's WordCount runs over 3 GB of Wikipedia abstracts.  We generate
+Zipf-distributed word streams with the same statistical shape; the actual
+corpus stays laptop-sized while ``sim_factor`` carries the paper-scale
+record counts to the simulated clock.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Full-scale (100%) parameters of the Wikipedia-abstracts stand-in.
+FULL_SIM_LINES = 30_000_000.0   # ~3 GB at ~100 B/line
+BYTES_PER_LINE = 100.0
+ACTUAL_LINES = 1_500
+
+
+def zipf_lines(
+    num_lines: int,
+    vocabulary: int = 500,
+    words_per_line: int = 9,
+    exponent: float = 1.3,
+    seed: int = 17,
+) -> list[str]:
+    """Lines of Zipf-distributed words (``w0`` most frequent)."""
+    if num_lines < 0:
+        raise ValueError("num_lines must be >= 0")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(vocabulary)]
+    words = [f"w{rank}" for rank in range(vocabulary)]
+    return [
+        " ".join(rng.choices(words, weights=weights, k=words_per_line))
+        for __ in range(num_lines)
+    ]
+
+
+def write_abstracts(ctx, path: str, percent: float, seed: int = 17) -> None:
+    """Write a ``percent``% slice of the simulated 3 GB corpus to the VFS.
+
+    Matching the paper's sampling methodology, smaller percentages are
+    smaller prefixes of the same corpus.
+    """
+    if not 0 < percent <= 200:
+        raise ValueError("percent must be in (0, 200]")
+    lines = zipf_lines(ACTUAL_LINES, seed=seed)
+    sim_factor = FULL_SIM_LINES * (percent / 100.0) / len(lines)
+    ctx.vfs.write(path, lines, sim_factor=sim_factor,
+                  bytes_per_record=BYTES_PER_LINE)

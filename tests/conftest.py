@@ -1,0 +1,28 @@
+"""Shared fixtures and hypothesis settings for the test suite."""
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro import RheemContext
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def ctx() -> RheemContext:
+    """A fresh context with all built-in platforms registered."""
+    return RheemContext()
+
+
+def wordcount(context, path, **hints):
+    """The canonical WordCount pipeline used by several test modules."""
+    return (context.read_text_file(path)
+            .flat_map(str.split, bytes_per_record=12, **hints)
+            .map(lambda w: (w, 1), bytes_per_record=16)
+            .reduce_by_key(lambda t: t[0], lambda a, b: (a[0], a[1] + b[1])))

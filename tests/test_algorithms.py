@@ -1,0 +1,105 @@
+"""Property and unit tests for the shared algorithms (IEJoin, PageRank)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.algorithms import ie_join, naive_inequality_join, pagerank_edges
+
+OPS = ["<", "<=", ">", ">="]
+
+rows = st.lists(
+    st.tuples(st.integers(min_value=-20, max_value=20),
+              st.integers(min_value=-20, max_value=20)),
+    max_size=25,
+)
+
+
+def _conds(op1, op2=None):
+    conds = [(lambda t: t[0], op1, lambda t: t[0])]
+    if op2 is not None:
+        conds.append((lambda t: t[1], op2, lambda t: t[1]))
+    return conds
+
+
+class TestIEJoin:
+    @given(rows, rows, st.sampled_from(OPS))
+    def test_single_condition_matches_naive(self, left, right, op):
+        conds = _conds(op)
+        fast = sorted(ie_join(left, right, conds))
+        slow = sorted(naive_inequality_join(left, right, conds))
+        assert fast == slow
+
+    @given(rows, rows, st.sampled_from(OPS), st.sampled_from(OPS))
+    def test_two_conditions_match_naive(self, left, right, op1, op2):
+        conds = _conds(op1, op2)
+        fast = sorted(ie_join(left, right, conds))
+        slow = sorted(naive_inequality_join(left, right, conds))
+        assert fast == slow
+
+    def test_tax_style_self_join(self):
+        # salary >, tax <: the paper's denial constraint.
+        records = [("a", 100, 30), ("b", 200, 5), ("c", 50, 15)]
+        conds = [(lambda t: t[1], ">", lambda t: t[1]),
+                 (lambda t: t[2], "<", lambda t: t[2])]
+        pairs = set(ie_join(records, records, conds))
+        assert pairs == {(("b", 200, 5), ("a", 100, 30)),
+                         (("b", 200, 5), ("c", 50, 15))}
+
+    def test_empty_inputs(self):
+        assert ie_join([], [(1, 2)], _conds("<")) == []
+        assert ie_join([(1, 2)], [], _conds("<")) == []
+
+    def test_duplicates_produce_duplicate_pairs(self):
+        left = [(1, 0), (1, 0)]
+        right = [(2, 0)]
+        out = ie_join(left, right, _conds("<"))
+        assert len(out) == 2
+
+    def test_all_equal_keys_strict_vs_inclusive(self):
+        left = [(5, 0)] * 3
+        right = [(5, 0)] * 3
+        assert ie_join(left, right, _conds("<")) == []
+        assert len(ie_join(left, right, _conds("<="))) == 9
+
+    def test_rejects_bad_arity_and_ops(self):
+        with pytest.raises(ValueError):
+            ie_join([], [], [])
+        with pytest.raises(ValueError):
+            ie_join([], [], _conds("<", "<") + _conds("<"))
+        with pytest.raises(ValueError):
+            ie_join([1], [2], [(lambda x: x, "!=", lambda x: x)])
+
+
+class TestPageRank:
+    def _assert_close_to_networkx(self, edges, iterations=50):
+        ours = pagerank_edges(edges, iterations=iterations)
+        graph = nx.DiGraph()
+        graph.add_edges_from(set(edges))
+        theirs = nx.pagerank(graph, alpha=0.85)
+        for v, rank in ours.items():
+            assert rank == pytest.approx(theirs[v], abs=5e-3)
+
+    def test_matches_networkx_simple(self):
+        self._assert_close_to_networkx([(1, 2), (2, 3), (3, 1), (1, 3)])
+
+    def test_matches_networkx_with_dangling(self):
+        self._assert_close_to_networkx([(1, 2), (1, 3), (2, 3)])  # 3 dangles
+
+    def test_ranks_sum_to_one(self):
+        ranks = pagerank_edges([(i, (i + 1) % 7) for i in range(7)])
+        assert sum(ranks.values()) == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        assert pagerank_edges([]) == {}
+
+    def test_hub_outranks_leaf(self):
+        ranks = pagerank_edges([(1, 0), (2, 0), (3, 0), (0, 1)])
+        assert ranks[0] > ranks[2]
+
+    @given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)),
+                    min_size=1, max_size=30))
+    def test_probability_distribution_property(self, edges):
+        ranks = pagerank_edges(edges, iterations=20)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+        assert all(r > 0 for r in ranks.values())

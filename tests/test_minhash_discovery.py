@@ -1,0 +1,89 @@
+"""Tests for MinHash and the Data Civilizer column-discovery pipeline."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import RheemContext
+from repro.algorithms import (
+    hash_family,
+    jaccard_estimate,
+    merge_signatures,
+    minhash_signature,
+    value_hashes,
+)
+from repro.apps import find_similar_columns
+
+
+class TestMinHash:
+    def test_identical_sets_have_similarity_one(self):
+        sig = minhash_signature(["a", "b", "c"])
+        assert jaccard_estimate(sig, sig) == 1.0
+
+    def test_disjoint_sets_have_low_similarity(self):
+        a = minhash_signature(range(100), num_hashes=128)
+        b = minhash_signature(range(1000, 1100), num_hashes=128)
+        assert jaccard_estimate(a, b) < 0.1
+
+    @given(st.sets(st.integers(0, 300), min_size=5, max_size=60),
+           st.sets(st.integers(0, 300), min_size=5, max_size=60))
+    def test_estimate_tracks_true_jaccard(self, a, b):
+        true = len(a & b) / len(a | b)
+        est = jaccard_estimate(minhash_signature(a, num_hashes=256),
+                               minhash_signature(b, num_hashes=256))
+        assert abs(est - true) < 0.25
+
+    def test_signature_is_order_insensitive(self):
+        assert minhash_signature([1, 2, 3]) == minhash_signature([3, 1, 2])
+
+    def test_merge_is_associative_reducer(self):
+        family = hash_family(32)
+        xs = [value_hashes(v, family) for v in ("x", "y", "z")]
+        left = merge_signatures(merge_signatures(xs[0], xs[1]), xs[2])
+        right = merge_signatures(xs[0], merge_signatures(xs[1], xs[2]))
+        assert left == right
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hash_family(0)
+        with pytest.raises(ValueError):
+            jaccard_estimate((1, 2), (1,))
+
+
+class TestColumnDiscovery:
+    def test_finds_planted_duplicates_across_stores(self):
+        ctx = RheemContext()
+        emails = [f"user{i}@example.com" for i in range(300)]
+        # Same values live in a Postgres column and an HDFS file column...
+        ctx.pgres.create_table(
+            "crm", ["email"], [{"email": e} for e in emails],
+            sim_factor=1000.0)
+        ctx.vfs.write("hdfs://lake/contacts.csv", emails, sim_factor=1000.0)
+        # ...plus an unrelated numeric column.
+        ctx.pgres.create_table(
+            "metrics", ["v"], [{"v": i} for i in range(300)],
+            sim_factor=1000.0)
+        columns = {
+            "crm.email": ctx.read_table("crm").map(lambda r: r["email"]),
+            "lake.contacts": ctx.read_text_file("hdfs://lake/contacts.csv"),
+            "metrics.v": ctx.read_table("metrics").map(lambda r: r["v"]),
+        }
+        pairs = find_similar_columns(ctx, columns, threshold=0.5)
+        assert pairs, "the duplicate column pair must be discovered"
+        best = pairs[0]
+        assert {best[0], best[1]} == {"crm.email", "lake.contacts"}
+        assert best[2] > 0.9
+        reported = {(a, b) for a, b, __ in pairs}
+        assert all("metrics.v" not in pair for pair in reported)
+
+    def test_partial_overlap_scores_in_between(self):
+        ctx = RheemContext()
+        a = [f"k{i}" for i in range(200)]
+        b = [f"k{i}" for i in range(100, 300)]  # ~33% Jaccard
+        columns = {
+            "a": ctx.load_collection(a),
+            "b": ctx.load_collection(b),
+        }
+        pairs = find_similar_columns(ctx, columns, threshold=0.1,
+                                     num_hashes=256)
+        assert len(pairs) == 1
+        assert 0.15 < pairs[0][2] < 0.55

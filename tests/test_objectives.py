@@ -1,0 +1,61 @@
+"""Tests for optimization objectives (runtime vs monetary cost)."""
+
+import pytest
+
+from repro import RheemContext
+from repro.core.objectives import (
+    DEFAULT_HOURLY_RATES,
+    Objective,
+    RUNTIME,
+    monetary,
+    price_of,
+)
+from repro.workloads import write_abstracts
+from conftest import wordcount
+
+
+class TestObjectiveModel:
+    def test_runtime_objective_is_all_ones(self):
+        assert RUNTIME.weight("sparklite") == 1.0
+        assert RUNTIME.weight("anything") == 1.0
+
+    def test_monetary_weights_scale_hourly_rates(self):
+        obj = monetary({"sparklite": 3600.0})
+        assert obj.weight("sparklite") == pytest.approx(1.0)
+        assert obj.weight("pystreams") == 1.0  # unknown -> neutral
+
+    def test_custom_objective(self):
+        green = Objective("carbon", {"sparklite": 5.0})
+        assert green.weight("sparklite") == 5.0
+
+
+class TestMonetaryOptimization:
+    def _task(self, ctx):
+        write_abstracts(ctx, "hdfs://money/wc.txt", 10)
+        return wordcount(ctx, "hdfs://money/wc.txt")
+
+    def test_objectives_can_disagree(self):
+        # Runtime optimization uses the distributed engines at 10%...
+        fast = self._task(RheemContext()).execute()
+        assert fast.platforms & {"sparklite", "flinklite"}
+        # ...while a dollar-minimizing run stays on the free driver node
+        # (cluster seconds cost ~24x driver seconds at the default rates).
+        cheap = self._task(RheemContext()).execute(
+            objective=monetary())
+        assert cheap.platforms == {"pystreams"}
+        assert cheap.runtime > fast.runtime
+        assert price_of(cheap) < price_of(fast)
+
+    def test_price_of_accounts_platform_time(self):
+        result = self._task(RheemContext()).execute()
+        dollars = price_of(result)
+        assert dollars > 0
+        # Sanity: never more than billing every platform for the makespan.
+        ceiling = result.runtime * max(DEFAULT_HOURLY_RATES.values()) \
+            * len(DEFAULT_HOURLY_RATES) / 3600.0
+        assert dollars <= ceiling
+
+    def test_monetary_results_still_correct(self):
+        fast = self._task(RheemContext()).execute()
+        cheap = self._task(RheemContext()).execute(objective=monetary())
+        assert sorted(fast.output) == sorted(cheap.output)

@@ -1,0 +1,94 @@
+"""Tests for progressive (re-)optimization."""
+
+import pytest
+
+from repro import RheemContext
+from repro.core.udf import Udf
+
+
+def _lookup_join_plan(ctx, filter_selectivity_hint):
+    """Big filtered input joined with a driver-side lookup collection —
+    the Figure 10(b) shape: a wrong filter hint makes the initial plan put
+    the join on the wrong platform."""
+    if not ctx.vfs.exists("hdfs://data/events.csv"):
+        rows = [f"item{i},{i % 1000}" for i in range(4000)]
+        ctx.vfs.write("hdfs://data/events.csv", rows, sim_factor=10_000.0,
+                      bytes_per_record=100.0)
+    lookup = ctx.load_collection([(k, f"cat{k % 7}") for k in range(1000)],
+                                 bytes_per_record=20)
+    hinted = Udf(lambda t: t[1] >= 1, selectivity=filter_selectivity_hint,
+                 name="hinted-filter")
+    events = (ctx.read_text_file("hdfs://data/events.csv")
+              .map(lambda l: (l.split(",")[0], int(l.split(",")[1])),
+                   name="parse")
+              .filter(hinted))
+    joined = events.join(lookup, lambda e: e[1], lambda kv: kv[0],
+                         selectivity=1.0 / 1000)
+    return (joined.map(lambda p: (p[1][1], 1), bytes_per_record=12)
+            .reduce_by_key(lambda t: t[0], lambda a, b: (a[0], a[1] + b[1]))
+            .to_plan())
+
+
+class TestProgressiveOptimization:
+    def test_replans_on_bad_hint_and_speeds_up(self):
+        ctx_off = RheemContext()
+        off = ctx_off.execute(_lookup_join_plan(ctx_off, 0.0001))
+        ctx_on = RheemContext()
+        report = ctx_on.execute_progressive(
+            _lookup_join_plan(ctx_on, 0.0001), tolerance=2.0)
+        assert report.replans >= 1
+        assert report.result.runtime < off.runtime / 2
+        assert sorted(report.result.output) == sorted(off.output)
+
+    def test_no_replan_when_hint_is_right(self):
+        ctx = RheemContext()
+        report = ctx.execute_progressive(
+            _lookup_join_plan(ctx, 0.999), tolerance=2.0)
+        assert report.replans == 0
+
+    def test_replan_count_bounded(self):
+        ctx = RheemContext()
+        report = ctx.execute_progressive(
+            _lookup_join_plan(ctx, 0.0001), max_replans=0)
+        assert report.replans == 0  # checkpoints disabled by the bound
+
+    def test_progressive_flag_on_context_execute(self):
+        ctx = RheemContext()
+        res = ctx.execute(_lookup_join_plan(ctx, 0.0001), progressive=True)
+        totals = dict(res.output)
+        assert sum(totals.values()) == 3996  # rows with value >= 1
+
+
+class TestPauseResume:
+    def _plan(self, ctx):
+        ctx.vfs.write("hdfs://pr/x.txt", [f"{i}" for i in range(100)],
+                      sim_factor=1000.0)
+        parsed = ctx.read_text_file("hdfs://pr/x.txt").map(int, name="parse")
+        return parsed, (parsed.filter(lambda v: v % 2 == 0, name="evens")
+                        .sort()
+                        .to_plan())
+
+    def test_pause_inspect_resume(self):
+        from repro import RheemContext
+        ctx = RheemContext()
+        parsed, plan = self._plan(ctx)
+        paused = ctx.execute_paused(plan, break_after={parsed.op.id})
+        from repro.core.progressive import PausedJob
+        assert isinstance(paused, PausedJob)
+        assert parsed.op.id in paused.completed
+        snapshot = paused.inspect(parsed.op.id)
+        # The materialized intermediate is observable mid-job.
+        values = (snapshot.to_list() if hasattr(snapshot, "to_list")
+                  else list(snapshot))
+        assert sorted(values) == list(range(100))
+        result = ctx.resume(paused)
+        assert result.output == sorted(v for v in range(100) if v % 2 == 0)
+
+    def test_breakpoint_on_last_operator_finishes(self):
+        from repro import RheemContext
+        from repro.core.executor import ExecutionResult
+        ctx = RheemContext()
+        __, plan = self._plan(ctx)
+        sink_id = plan.sinks[0].id
+        outcome = ctx.execute_paused(plan, break_after={sink_id})
+        assert isinstance(outcome, ExecutionResult)

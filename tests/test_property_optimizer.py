@@ -1,0 +1,118 @@
+"""Property-based tests for the enumerator over randomized pipelines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import RheemContext
+
+# Each step is (verb, parameter); pipelines are arbitrary sequences.
+steps = st.lists(
+    st.sampled_from([
+        ("map", 2), ("map", 3),
+        ("filter", 2), ("filter", 3),
+        ("distinct", None),
+        ("sort", None),
+        ("pair", 4),
+        ("reduceby", 4),
+    ]),
+    max_size=5,
+)
+
+
+def _build(ctx, pipeline, sim_factor):
+    dq = ctx.load_collection(list(range(60)), sim_factor=sim_factor)
+    paired = False
+    for verb, param in pipeline:
+        if verb == "map" and not paired:
+            dq = dq.map(lambda x, __p=param: x * __p)
+        elif verb == "filter" and not paired:
+            dq = dq.filter(lambda x, __p=param: x % __p != 0)
+        elif verb == "distinct":
+            dq = dq.distinct()
+        elif verb == "sort" and not paired:
+            dq = dq.sort()
+        elif verb == "pair" and not paired:
+            dq = dq.map(lambda x, __p=param: (x % __p, x))
+            paired = True
+        elif verb == "reduceby" and paired:
+            dq = dq.reduce_by_key(lambda t: t[0],
+                                  lambda a, b: (a[0], a[1] + b[1]))
+            dq = dq.map(lambda t: t[1])  # back to plain integers
+            paired = False
+    return dq
+
+
+class TestRandomPipelines:
+    @given(steps, st.sampled_from([1.0, 10_000.0]))
+    @settings(max_examples=25)
+    def test_results_identical_across_platforms(self, pipeline, sim_factor):
+        outputs = []
+        for platform in ("pystreams", "sparklite", "flinklite"):
+            ctx = RheemContext()
+            out = _build(ctx, pipeline, sim_factor).collect(
+                allowed_platforms={platform, "driver"})
+            outputs.append(sorted(out, key=repr))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    @given(steps, st.sampled_from([1.0, 50_000.0]))
+    @settings(max_examples=20)
+    def test_pruning_is_lossless(self, pipeline, sim_factor):
+        ctx = RheemContext()
+        plan = _build(ctx, pipeline, sim_factor).to_plan()
+        pruned = ctx.optimizer()
+        best_pruned, __ = pruned.pick_best(plan)
+        full = ctx.optimizer()
+        full.prune = False
+        best_full, __ = full.pick_best(plan)
+        assert best_pruned.cost.geometric_mean == pytest.approx(
+            best_full.cost.geometric_mean)
+        assert pruned.last_enumeration_size <= full.last_enumeration_size
+
+    @given(steps, st.sampled_from([1.0, 50_000.0]))
+    @settings(max_examples=20)
+    def test_free_choice_estimated_at_most_any_forced(self, pipeline,
+                                                      sim_factor):
+        # The enumerator's optimum over ALL platforms can never have a
+        # higher estimated cost than the optimum restricted to one.
+        ctx = RheemContext()
+        plan = _build(ctx, pipeline, sim_factor).to_plan()
+        free, __ = ctx.optimizer().pick_best(plan)
+        for platform in ("pystreams", "flinklite"):
+            forced, __f = ctx.optimizer(
+                allowed_platforms={platform, "driver"}).pick_best(plan)
+            assert free.cost.geometric_mean <= \
+                forced.cost.geometric_mean + 1e-9
+
+    @given(steps)
+    @settings(max_examples=15)
+    def test_execution_matches_plain_python(self, pipeline):
+        ctx = RheemContext()
+        got = _build(ctx, pipeline, 1.0).collect()
+
+        # Reference evaluation in plain Python.
+        data = list(range(60))
+        paired = False
+        for verb, param in pipeline:
+            if verb == "map" and not paired:
+                data = [x * param for x in data]
+            elif verb == "filter" and not paired:
+                data = [x for x in data if x % param != 0]
+            elif verb == "distinct":
+                seen, out = set(), []
+                for x in data:
+                    if x not in seen:
+                        seen.add(x)
+                        out.append(x)
+                data = out
+            elif verb == "sort" and not paired:
+                data = sorted(data)
+            elif verb == "pair" and not paired:
+                data = [(x % param, x) for x in data]
+                paired = True
+            elif verb == "reduceby" and paired:
+                acc = {}
+                for k, v in data:
+                    acc[k] = acc[k] + v if k in acc else v
+                data = list(acc.values())  # back to plain integers
+                paired = False
+        assert sorted(got, key=repr) == sorted(data, key=repr)

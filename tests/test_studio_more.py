@@ -1,0 +1,45 @@
+"""Additional studio tests: EXPLAIN over loops and mixed plans."""
+
+import pytest
+
+from repro import RheemContext
+from repro.studio import explain, render_ascii
+
+
+class TestExplainLoops:
+    def _sgd_plan(self, ctx):
+        ctx.vfs.write("hdfs://ex/pts", ["1.0,0.5"] * 50, sim_factor=1e5,
+                      bytes_per_record=50)
+        points = (ctx.read_text_file("hdfs://ex/pts")
+                  .map(lambda l: tuple(map(float, l.split(","))),
+                       name="parse").cache())
+        weights = ctx.load_collection([(0.0,)], bytes_per_record=16)
+        out = weights.repeat(
+            5, lambda w, inv: inv.sample(size=4, method="random_jump",
+                                         broadcasts=[w])
+            .reduce(lambda a, b: a),
+            invariants=[points])
+        return out.to_plan()
+
+    def test_explain_describes_loops(self, ctx):
+        text = explain(ctx, self._sgd_plan(ctx))
+        assert "loop x5" in text
+        assert "estimated cost" in text
+
+    def test_explain_honours_allowed_platforms(self, ctx):
+        text = explain(ctx, self._sgd_plan(ctx),
+                       allowed_platforms={"pystreams", "driver"})
+        assert "pystreams" in text
+        assert "flinklite" not in text and "sparklite" not in text
+
+    def test_ascii_lists_loop_body(self, ctx):
+        text = render_ascii(self._sgd_plan(ctx))
+        assert "[body]" in text
+        assert "sample" in text
+
+    def test_explain_is_side_effect_free(self, ctx):
+        plan = self._sgd_plan(ctx)
+        explain(ctx, plan)
+        # The plan still runs normally afterwards.
+        result = ctx.execute(plan)
+        assert len(result.output) == 1
