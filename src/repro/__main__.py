@@ -4,16 +4,21 @@ Usage::
 
     python -m repro run SCRIPT.latin [--abstracts PCT] [--pagelinks PCT]
     python -m repro serve [--port 8642]
+    python -m repro lint SCRIPT.{py,latin}
 
 ``run`` executes a RheemLatin script against a fresh context (optionally
 pre-seeding the virtual HDFS with the benchmark corpora so scripts have
 something to read); ``dump``ed results are printed.  ``serve`` exposes the
 REST interface (``POST /jobs`` with a JSON job document) via wsgiref.
+``lint`` executes a Python or RheemLatin script under the static analyzer
+and prints every diagnostic raised against the plans it builds; the exit
+status is 1 when any error-severity diagnostic fires, else 0.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import RheemContext
@@ -55,24 +60,78 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import runpy
+
+    from .analysis.collector import collecting
+    from .core.optimizer import PlanAnalysisError
+    from .core.plan import PlanValidationError
+
+    if not os.path.exists(args.script):
+        print(f"repro lint: cannot read {args.script!r}: no such file",
+              file=sys.stderr)
+        return 2
+
+    script_error: Exception | None = None
+    with collecting() as collector:
+        try:
+            if args.script.endswith(".latin"):
+                with open(args.script) as handle:
+                    source = handle.read()
+                Interpreter(_build_context(args)).run(source)
+            else:
+                runpy.run_path(args.script, run_name="__main__")
+        except (PlanAnalysisError, PlanValidationError) as exc:
+            # The analyzer (or the plan constructor) already refused the
+            # plan; its diagnostics are in the collector / the exception.
+            script_error = exc
+        reports = collector.finalize()
+
+    diagnostics = [d for _, report in reports for d in report]
+    if script_error is not None and not diagnostics:
+        diagnostics = list(getattr(script_error, "diagnostics", []))
+
+    errors = 0
+    for diag in diagnostics:
+        print(diag.render())
+        errors += diag.severity.name == "ERROR"
+    plural = "s" if len(reports) != 1 else ""
+    print(f"{len(reports)} plan{plural} analyzed: "
+          f"{len(diagnostics)} diagnostic(s), {errors} error(s)")
+    if script_error is not None and not errors:
+        print(f"error: {script_error}", file=sys.stderr)
+        return 1
+    return 1 if errors else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="RHEEM reproduction command line")
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command")
 
     run = sub.add_parser("run", help="execute a RheemLatin script")
     run.add_argument("script", help="path to the .latin script")
     serve = sub.add_parser("serve", help="start the REST service")
     serve.add_argument("--port", type=int, default=8642)
-    for p in (run, serve):
+    lint = sub.add_parser(
+        "lint", help="statically analyze the plans a script builds")
+    lint.add_argument("script", help="path to a .py or .latin script")
+    for p in (run, serve, lint):
         p.add_argument("--abstracts", type=float, default=0.0,
                        help="seed hdfs://data/abstracts.txt at this percent")
         p.add_argument("--pagelinks", type=float, default=0.0,
                        help="seed hdfs://data/pagelinks.txt at this percent")
 
     args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_usage(sys.stderr)
+        print("repro: error: a subcommand is required "
+              "(run, serve or lint)", file=sys.stderr)
+        return 2
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return _cmd_serve(args)
 
 

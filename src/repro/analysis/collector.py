@@ -1,0 +1,88 @@
+"""Session-wide diagnostic collection for the lint CLI.
+
+``python -m repro lint SCRIPT`` executes the script under an active
+:class:`LintCollector`: every :class:`~repro.core.plan.RheemPlan`
+constructed while the collector is active registers itself, and every
+analyzer run (the optimizer lints each plan before enumeration) records its
+report.  After the script finishes, plans that were built but never
+optimized are analyzed post-hoc, so sink-less scripts still get linted.
+
+This module must stay import-light (no core imports): ``core.plan`` calls
+into it from the ``RheemPlan`` constructor.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from typing import TYPE_CHECKING
+
+from .diagnostics import LintReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.plan import RheemPlan
+
+_active: contextvars.ContextVar["LintCollector | None"] = \
+    contextvars.ContextVar("repro_lint_collector", default=None)
+
+
+class LintCollector:
+    """Accumulates (plan, report) pairs across one linted session."""
+
+    def __init__(self) -> None:
+        self.plans: list["RheemPlan"] = []
+        self.reports: list[tuple["RheemPlan", LintReport]] = []
+        self._seen_plans: set[int] = set()
+        self._reported: set[int] = set()
+
+    def record_plan(self, plan: "RheemPlan") -> None:
+        if id(plan) not in self._seen_plans:
+            self._seen_plans.add(id(plan))
+            self.plans.append(plan)
+
+    def record_report(self, plan: "RheemPlan", report: LintReport) -> None:
+        self.record_plan(plan)
+        if id(plan) in self._reported:
+            # Re-analysis of the same plan (e.g. progressive re-planning):
+            # keep the latest report only.
+            self.reports = [(p, r) for p, r in self.reports if p is not plan]
+        self._reported.add(id(plan))
+        self.reports.append((plan, report))
+
+    def finalize(self, context=None) -> list[tuple["RheemPlan", LintReport]]:
+        """Analyze any plan that never went through the optimizer."""
+        from .engine import analyze_plan  # lazy: keep this module light
+
+        for plan in self.plans:
+            if id(plan) not in self._reported:
+                self.record_report(plan, analyze_plan(plan, context))
+        return self.reports
+
+
+def active_collector() -> LintCollector | None:
+    return _active.get()
+
+
+def notify_plan(plan: "RheemPlan") -> None:
+    """Called by the ``RheemPlan`` constructor (no-op when not linting)."""
+    collector = _active.get()
+    if collector is not None:
+        collector.record_plan(plan)
+
+
+def notify_report(plan: "RheemPlan", report: LintReport) -> None:
+    """Called by the optimizer after analyzing a plan."""
+    collector = _active.get()
+    if collector is not None:
+        collector.record_report(plan, report)
+
+
+@contextlib.contextmanager
+def collecting():
+    """Activate a fresh collector for the duration of the block."""
+    collector = LintCollector()
+    token = _active.set(collector)
+    try:
+        yield collector
+    finally:
+        _active.reset(token)

@@ -17,6 +17,7 @@ from typing import Any
 from ..core.context import RheemContext
 from ..core.objectives import monetary, price_of
 from ..core.optimizer import OptimizationError
+from ..core.plan import PlanValidationError
 from ..latin.translator import resolve_platform
 from ..simulation.cluster import SimulatedOutOfMemory
 from .serde import PlanDocumentError, build_quanta
@@ -34,8 +35,10 @@ class RheemService:
         """Run one job document; always returns a JSON-ready dict.
 
         Response shape: ``{"status": "ok", "output": [...], "runtime": s,
-        "platforms": [...], "price_usd": d}`` or ``{"status": "error",
-        "error": "...", "kind": "..."}``.
+        "platforms": [...], "price_usd": d, "diagnostics": [...]}`` or
+        ``{"status": "error", "error": "...", "kind": "..."}``; error
+        responses carry a ``diagnostics`` list too when the static analyzer
+        rejected the plan.
         """
         try:
             quanta = build_quanta(self.ctx, document, self.env)
@@ -50,9 +53,14 @@ class RheemService:
             if execution.get("progressive"):
                 kwargs["progressive"] = True
             result = quanta.execute(**kwargs)
-        except (PlanDocumentError, OptimizationError, KeyError) as exc:
-            return {"status": "error", "kind": type(exc).__name__,
-                    "error": str(exc)}
+        except (PlanDocumentError, OptimizationError, PlanValidationError,
+                KeyError) as exc:
+            response = {"status": "error", "kind": type(exc).__name__,
+                        "error": str(exc)}
+            diagnostics = _exception_diagnostics(exc)
+            if diagnostics:
+                response["diagnostics"] = diagnostics
+            return response
         except SimulatedOutOfMemory as exc:
             return {"status": "error", "kind": "OutOfMemory",
                     "error": str(exc)}
@@ -62,7 +70,16 @@ class RheemService:
             "runtime": result.runtime,
             "platforms": sorted(result.platforms),
             "price_usd": price_of(result),
+            "diagnostics": [d.to_json() for d in result.diagnostics],
         }
+
+
+def _exception_diagnostics(exc: Exception) -> list[dict]:
+    """JSON-ready diagnostics off an analyzer/validation exception."""
+    report = getattr(exc, "report", None)
+    if report is not None:
+        return [d.to_json() for d in report]
+    return [d.to_json() for d in getattr(exc, "diagnostics", [])]
 
 
 def _jsonable(value: Any) -> Any:

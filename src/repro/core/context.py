@@ -135,14 +135,17 @@ class RheemContext:
             report = self.execute_progressive(
                 plan, allowed_platforms=allowed_platforms,
                 tolerance=tolerance, sniffers=list(sniffers))
+            report.result.diagnostics = list(plan.diagnostics)
             return report.result
         optimizer = self.optimizer(allowed_platforms, objective=objective)
         best, cards = optimizer.pick_best(plan)
         exec_plan = optimizer._build_execution_plan(plan, best)
-        return self.executor().execute(exec_plan, estimates=cards,
-                                       sniffers=list(sniffers),
-                                       fault_injector=fault_injector,
-                                       max_stage_retries=max_stage_retries)
+        result = self.executor().execute(exec_plan, estimates=cards,
+                                         sniffers=list(sniffers),
+                                         fault_injector=fault_injector,
+                                         max_stage_retries=max_stage_retries)
+        result.diagnostics = list(plan.diagnostics)
+        return result
 
     def execute_progressive(
         self,

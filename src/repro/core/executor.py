@@ -87,6 +87,10 @@ class ExecutionResult:
     monitor: Monitor
     stage_count: int
     platforms: set[str] = field(default_factory=set)
+    #: Static-analysis findings for the plan that produced this result
+    #: (:class:`repro.analysis.Diagnostic` objects; empty when analysis
+    #: was disabled).
+    diagnostics: list = field(default_factory=list)
 
     @property
     def output(self) -> Any:

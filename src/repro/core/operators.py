@@ -77,6 +77,13 @@ class Operator:
         self.side_inputs: list[InputRef] = []
         #: Force execution on a specific platform (``withTargetPlatform``).
         self.target_platform: str | None = None
+        #: Downstream back-references recorded by :meth:`connect` /
+        #: :meth:`broadcast`; the static analyzer walks these to find work
+        #: hanging off a plan that no sink can reach (may hold stale
+        #: entries after rewiring — always verify against ``inputs``).
+        self.downstream: list["Operator"] = []
+        #: Lint rule ids silenced for this operator (``suppress_lint``).
+        self.lint_suppressions: set[str] = set()
 
     # ------------------------------------------------------------------ DAG
     def connect(self, input_index: int, upstream: "Operator",
@@ -87,17 +94,24 @@ class Operator:
         if not 0 <= output_index < upstream.num_outputs:
             raise ValueError(f"{upstream} has no output slot {output_index}")
         self.inputs[input_index] = InputRef(upstream, output_index)
+        upstream.downstream.append(self)
         return self
 
     def broadcast(self, upstream: "Operator", output_index: int = 0) -> "Operator":
         """Attach a broadcast (side) input; its materialized value is passed
         to this operator's UDF as an extra positional argument."""
         self.side_inputs.append(InputRef(upstream, output_index))
+        upstream.downstream.append(self)
         return self
 
     def with_target_platform(self, platform: str) -> "Operator":
         """Pin this operator to one platform (escape hatch, Section 5)."""
         self.target_platform = platform
+        return self
+
+    def suppress_lint(self, *rule_ids: str) -> "Operator":
+        """Silence the given lint rules for this operator only."""
+        self.lint_suppressions.update(rule_ids)
         return self
 
     @property

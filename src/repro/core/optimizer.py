@@ -66,6 +66,20 @@ class OptimizationError(RuntimeError):
     """Raised when no executable plan exists (e.g. unreachable channels)."""
 
 
+class PlanAnalysisError(OptimizationError):
+    """Raised when static analysis finds error-level defects in a plan.
+
+    The optimizer refuses to enumerate such plans: the defects (type
+    mismatches, impossible platform pins, unreachable channels) guarantee
+    a worse failure later.  ``report`` carries the full diagnostics.
+    """
+
+    def __init__(self, report) -> None:
+        lines = "; ".join(d.render() for d in report.errors)
+        super().__init__(f"static analysis rejected the plan: {lines}")
+        self.report = report
+
+
 #: Default bytes/record assumed when planning data movement.
 PLANNING_BYTES_PER_RECORD = 100.0
 
@@ -145,6 +159,9 @@ class Optimizer:
         #: (exposed for the pruning ablation benchmark).
         self.last_enumeration_size = 0
         self.prune = True
+        #: Static analysis gate: lint every plan before enumeration, abort
+        #: on error-level findings (set False to optimize unchecked).
+        self.analysis = True
 
     # ----------------------------------------------------------- public API
     def optimize(self, plan: RheemPlan) -> ExecutionPlan:
@@ -153,8 +170,20 @@ class Optimizer:
         return self._build_execution_plan(plan, best)
 
     def pick_best(self, plan: RheemPlan) -> tuple[PartialPlan, dict]:
-        """Run inflation + enumeration; return the optimal partial plan."""
+        """Run static analysis + inflation + enumeration.
+
+        Error-level lint findings abort before enumeration
+        (:class:`PlanAnalysisError`); warnings annotate ``plan.diagnostics``
+        and decay the confidence of estimates flowing through impure UDFs.
+        """
+        report = self._analyze(plan)
         cards = plan.estimate_cardinalities(self.estimation_ctx)
+        if report is not None:
+            for op_id, penalty in report.confidence_penalties.items():
+                est = cards.get(op_id)
+                if est is not None:
+                    cards[op_id] = CardinalityEstimate(
+                        est.lower, est.upper, est.confidence * penalty)
         inflated = inflate(plan, self.registry)
         ops = plan.operators()
         bprs = self._estimate_record_bytes(ops)
@@ -171,6 +200,25 @@ class Optimizer:
             raise OptimizationError("enumeration produced no executable plan")
         best = min(results, key=lambda p: p.cost.geometric_mean)
         return best, cards
+
+    # ------------------------------------------------------ static analysis
+    def _analyze(self, plan: RheemPlan):
+        """Lint ``plan`` pre-enumeration; None when analysis is disabled."""
+        if not self.analysis:
+            return None
+        from ..analysis.collector import notify_report
+        from ..analysis.engine import PlanAnalyzer
+
+        analyzer = PlanAnalyzer(
+            registry=self.registry,
+            conversion_graph=self.graph,
+            estimation_ctx=self.estimation_ctx,
+        )
+        report = analyzer.analyze(plan)
+        notify_report(plan, report)
+        if not report.ok:
+            raise PlanAnalysisError(report)
+        return report
 
     # -------------------------------------------------- record-size model
     def _estimate_record_bytes(

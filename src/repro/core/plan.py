@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
+from ..analysis.collector import notify_plan
+from ..analysis.diagnostics import Diagnostic, Severity
 from .cardinality import CardinalityEstimate
 from .operators import (
     EstimationContext,
@@ -17,14 +19,41 @@ from .operators import (
 
 
 class PlanValidationError(ValueError):
-    """Raised when a plan is structurally broken."""
+    """Raised when a plan is structurally broken.
+
+    Carries ALL structural violations found (not just the first) as a list
+    of :class:`~repro.analysis.diagnostics.Diagnostic` objects, so users
+    can fix a broken plan in one pass.
+    """
+
+    def __init__(self, message: str,
+                 diagnostics: Sequence[Diagnostic] = ()) -> None:
+        super().__init__(message)
+        self.diagnostics: list[Diagnostic] = list(diagnostics)
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: Sequence[Diagnostic]
+                         ) -> "PlanValidationError":
+        message = "; ".join(d.message for d in diagnostics)
+        return cls(message, diagnostics)
+
+
+def _structural(rule_id: str, message: str, op: Operator | None = None,
+                hint: str | None = None) -> Diagnostic:
+    return Diagnostic(
+        rule_id=rule_id, severity=Severity.ERROR, message=message,
+        op_id=op.id if op is not None else 0,
+        op_name=op.name if op is not None else "",
+        hint=hint)
 
 
 def topological_order(roots: Sequence[Operator]) -> list[Operator]:
     """Operators reachable upstream from ``roots``, producers first.
 
     Loop bodies are NOT traversed: a loop operator is a single vertex of the
-    outer plan.  Broadcast (side) inputs count as edges.
+    outer plan.  Broadcast (side) inputs count as edges.  The walk is
+    iterative (an explicit DFS stack), so plans thousands of operators deep
+    do not overflow the Python call stack.
 
     Raises:
         PlanValidationError: If a cycle is detected (feedback edges are only
@@ -33,21 +62,39 @@ def topological_order(roots: Sequence[Operator]) -> list[Operator]:
     order: list[Operator] = []
     state: dict[int, int] = {}  # 0 = visiting, 1 = done
 
-    def visit(op: Operator) -> None:
-        mark = state.get(op.id)
-        if mark == 1:
-            return
-        if mark == 0:
-            raise PlanValidationError(f"cycle detected at {op}")
-        state[op.id] = 0
-        for ref in list(op.inputs) + list(op.side_inputs):
-            if ref is not None:
-                visit(ref.op)
-        state[op.id] = 1
-        order.append(op)
-
     for root in roots:
-        visit(root)
+        if state.get(root.id) == 1:
+            continue
+        if state.get(root.id) == 0:
+            raise PlanValidationError(
+                f"cycle detected at {root}",
+                [_structural("RP102", f"cycle detected at {root}", root)])
+        state[root.id] = 0
+        stack: list[tuple[Operator, Iterator[InputRef | None]]] = [
+            (root, iter(list(root.inputs) + list(root.side_inputs)))]
+        while stack:
+            op, edges = stack[-1]
+            advanced = False
+            for ref in edges:
+                if ref is None:
+                    continue
+                mark = state.get(ref.op.id)
+                if mark == 1:
+                    continue
+                if mark == 0:
+                    raise PlanValidationError(
+                        f"cycle detected at {ref.op}",
+                        [_structural("RP102",
+                                     f"cycle detected at {ref.op}", ref.op)])
+                state[ref.op.id] = 0
+                stack.append((ref.op, iter(list(ref.op.inputs)
+                                           + list(ref.op.side_inputs))))
+                advanced = True
+                break
+            if not advanced:
+                state[op.id] = 1
+                order.append(op)
+                stack.pop()
     return order
 
 
@@ -71,9 +118,15 @@ class RheemPlan:
     def __init__(self, sinks: Iterable[Operator]) -> None:
         self.sinks = list(sinks)
         if not self.sinks:
-            raise PlanValidationError("a plan needs at least one sink")
+            raise PlanValidationError(
+                "a plan needs at least one sink",
+                [_structural("RP101", "a plan needs at least one sink")])
         self._topo = topological_order(self.sinks)
+        #: Analyzer findings attached by the last static-analysis run
+        #: (:mod:`repro.analysis`); empty until a pass runs.
+        self.diagnostics = []
         self.validate()
+        notify_plan(self)
 
     # ------------------------------------------------------------ structure
     def operators(self, include_loop_bodies: bool = False) -> list[Operator]:
@@ -109,21 +162,33 @@ class RheemPlan:
     def validate(self) -> None:
         """Check structural well-formedness.
 
+        ALL violations are collected before raising, so one pass over the
+        error fixes every unwired input, non-sink root and broken loop body
+        at once.
+
         Raises:
-            PlanValidationError: On unwired inputs, non-sink roots, or broken
-                loop bodies.
+            PlanValidationError: Carrying the full diagnostics list.
         """
+        diagnostics: list[Diagnostic] = []
         for sink in self.sinks:
             if not isinstance(sink, SinkOperator):
-                raise PlanValidationError(f"plan root {sink} is not a sink")
+                diagnostics.append(_structural(
+                    "RP101", f"plan root {sink} is not a sink", sink,
+                    hint="terminate every branch with a sink operator"))
         for op in self._topo:
             for idx, ref in enumerate(op.inputs):
                 if ref is None:
-                    raise PlanValidationError(f"{op} input {idx} is not connected")
+                    diagnostics.append(_structural(
+                        "RP100", f"{op} input {idx} is not connected", op,
+                        hint=f"wire a producer into input slot {idx}"))
             if isinstance(op, LoopOperator):
-                _validate_body(op.body)
+                diagnostics.extend(_body_diagnostics(op))
         if not any(op.is_source for op in self._topo):
-            raise PlanValidationError("a plan needs at least one source")
+            diagnostics.append(_structural(
+                "RP103", "a plan needs at least one source",
+                hint="start every branch from a source operator"))
+        if diagnostics:
+            raise PlanValidationError.from_diagnostics(diagnostics)
 
     # ----------------------------------------------------------- estimation
     def estimate_cardinalities(
@@ -149,14 +214,21 @@ class RheemPlan:
         return f"RheemPlan({len(self._topo)} operators, {len(self.sinks)} sinks)"
 
 
-def _validate_body(body: SubPlan) -> None:
+def _body_diagnostics(loop: LoopOperator) -> list[Diagnostic]:
+    body = loop.body
+    diagnostics: list[Diagnostic] = []
     body_ops = set(op.id for op in body.operators())
     for ref in body.outputs:
         if ref.op.id not in body_ops:
-            raise PlanValidationError(f"body output {ref.op} unreachable")
+            diagnostics.append(_structural(
+                "RP104", f"body output {ref.op} unreachable", loop,
+                hint="loop outputs must be produced inside the body"))
     for inp in body.inputs:
         if inp.num_inputs != 0:
-            raise PlanValidationError("loop inputs must be sources")
+            diagnostics.append(_structural(
+                "RP104", "loop inputs must be sources", loop,
+                hint="use LoopInput placeholders as the body's sources"))
+    return diagnostics
 
 
 def _estimate_operators(

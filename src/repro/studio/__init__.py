@@ -1,5 +1,10 @@
 """Text-mode plan inspection (the Rheem Studio stand-in)."""
 
-from .visualize import explain, plan_to_dot, render_ascii
+from .visualize import (
+    explain,
+    plan_to_dot,
+    render_ascii,
+    render_diagnostics,
+)
 
-__all__ = ["explain", "plan_to_dot", "render_ascii"]
+__all__ = ["explain", "plan_to_dot", "render_ascii", "render_diagnostics"]

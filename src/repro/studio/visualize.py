@@ -36,16 +36,42 @@ def render_ascii(plan: RheemPlan) -> str:
     return out.getvalue()
 
 
+_SEVERITY_COLORS = {"error": "red", "warning": "orange", "info": "skyblue"}
+
+
+def _diagnostics_by_op(plan: RheemPlan):
+    """Worst diagnostic per operator id from the plan's last analysis."""
+    worst: dict[int, object] = {}
+    for diag in getattr(plan, "diagnostics", []) or []:
+        seen = worst.get(diag.op_id)
+        if seen is None or diag.severity > seen.severity:
+            worst[diag.op_id] = diag
+    return worst
+
+
 def plan_to_dot(plan: RheemPlan, title: str = "rheem plan") -> str:
-    """Graphviz source for a Rheem plan (loop bodies as clusters)."""
+    """Graphviz source for a Rheem plan (loop bodies as clusters).
+
+    Operators flagged by the static analyzer (``plan.diagnostics``) are
+    colored by their worst finding — red for errors, orange for warnings,
+    light blue for infos — with the rule id and message in the tooltip.
+    """
     out = StringIO()
     print(f'digraph "{title}" {{', file=out)
     print("  rankdir=BT; node [shape=box, fontname=Helvetica];", file=out)
+    flagged = _diagnostics_by_op(plan)
 
     def emit(op: Operator) -> None:
         shape = "ellipse" if op.is_source else (
             "doubleoctagon" if op.is_sink else "box")
-        print(f'  op{op.id} [label="{op.name}", shape={shape}];', file=out)
+        attrs = f'label="{op.name}", shape={shape}'
+        diag = flagged.get(op.id)
+        if diag is not None:
+            color = _SEVERITY_COLORS.get(str(diag.severity), "gray")
+            tooltip = f"{diag.rule_id}: {diag.message}".replace('"', "'")
+            attrs += (f', style=filled, fillcolor="{color}", '
+                      f'tooltip="{tooltip}"')
+        print(f"  op{op.id} [{attrs}];", file=out)
 
     for op in plan.operators():
         emit(op)
@@ -106,4 +132,20 @@ def explain(ctx: RheemContext, plan: RheemPlan,
             print(f"  {getattr(producer, 'name', producer_id)} => "
                   f"{getattr(consumer, 'name', consumer_id)}: {steps} "
                   f"(~{path.cost:.2f}s)", file=out)
+    diagnostics = render_diagnostics(plan)
+    if diagnostics:
+        print("diagnostics:", file=out)
+        out.write(diagnostics)
+    return out.getvalue()
+
+
+def render_diagnostics(plan: RheemPlan, indent: str = "  ") -> str:
+    """The plan's static-analysis findings, one rendered line each.
+
+    Empty string when the plan was never analyzed or came back clean;
+    run ``repro.analysis.analyze_plan`` (or any optimizer pass) first.
+    """
+    out = StringIO()
+    for diag in getattr(plan, "diagnostics", []) or []:
+        print(f"{indent}{diag.render()}", file=out)
     return out.getvalue()

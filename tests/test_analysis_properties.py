@@ -1,0 +1,124 @@
+"""Property-based tests for the static analyzer over randomized pipelines.
+
+Two invariants:
+
+* any randomly built pipeline that lints without errors also optimizes —
+  the analyzer never rejects a plan the optimizer could handle;
+* a known-bad mutation (type break, dead operator, feedback edge) applied
+  to a clean plan triggers exactly the rule that owns that defect class.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import RheemContext
+from repro.analysis import analyze_plan
+from repro.core.optimizer import PlanAnalysisError
+
+steps = st.lists(
+    st.sampled_from([
+        ("map", 2), ("map", 5),
+        ("filter", 2), ("filter", 3),
+        ("distinct", None),
+        ("sort", None),
+        ("union", None),
+        ("pair", 4),
+        ("reduceby", None),
+    ]),
+    max_size=6,
+)
+
+
+def _build(ctx, pipeline):
+    dq = ctx.load_collection(list(range(40)))
+    paired = False
+    for verb, param in pipeline:
+        if verb == "map" and not paired:
+            dq = dq.map(lambda x, __p=param: x * __p)
+        elif verb == "filter" and not paired:
+            dq = dq.filter(lambda x, __p=param: x % __p != 0)
+        elif verb == "distinct":
+            dq = dq.distinct()
+        elif verb == "sort" and not paired:
+            dq = dq.sort()
+        elif verb == "union" and not paired:
+            dq = dq.union(ctx.load_collection(list(range(10))))
+        elif verb == "pair" and not paired:
+            dq = dq.map(lambda x, __p=param: (x % __p, x))
+            paired = True
+        elif verb == "reduceby" and paired:
+            dq = dq.reduce_by_key(lambda t: t[0],
+                                  lambda a, b: (a[0], a[1] + b[1]))
+            dq = dq.map(lambda t: t[1])
+            paired = False
+    return dq
+
+
+class TestLintCleanPlansOptimize:
+    @given(steps)
+    @settings(max_examples=30, deadline=None)
+    def test_no_errors_implies_optimizable(self, pipeline):
+        ctx = RheemContext()
+        plan = _build(ctx, pipeline).to_plan()
+        report = analyze_plan(plan, ctx)
+        assert report.ok, report.render()
+        best, cards = ctx.optimizer().pick_best(plan)
+        assert best is not None and cards
+
+    @given(steps)
+    @settings(max_examples=15, deadline=None)
+    def test_analysis_is_idempotent(self, pipeline):
+        ctx = RheemContext()
+        plan = _build(ctx, pipeline).to_plan()
+        first = analyze_plan(plan, ctx)
+        second = analyze_plan(plan, ctx)
+        assert [d.rule_id for d in first] == [d.rule_id for d in second]
+
+
+class TestBadMutationsAreCaught:
+    """Each defect class trips exactly its own rule."""
+
+    @given(steps)
+    @settings(max_examples=15, deadline=None)
+    def test_type_break_triggers_rp002(self, pipeline):
+        ctx = RheemContext()
+
+        def to_num(x) -> float:
+            return float(x)
+
+        def shout(s: str) -> str:
+            return s.upper()
+
+        # untyped lambdas erase type knowledge (optimistic inference), so
+        # pin the tail type with an annotated UDF; a str-typed consumer on
+        # top of a float producer is then a provable break on any pipeline
+        plan = _build(ctx, pipeline).map(to_num).map(shout).to_plan()
+        report = analyze_plan(plan, ctx)
+        assert "RP002" in report.rule_ids(), report.render()
+        assert not report.ok
+        with pytest.raises(PlanAnalysisError):
+            ctx.optimizer().pick_best(plan)
+
+    @given(steps)
+    @settings(max_examples=15, deadline=None)
+    def test_dead_operator_triggers_rp001(self, pipeline):
+        ctx = RheemContext()
+        dq = _build(ctx, pipeline)
+        dq.map(lambda x: x)  # dangling branch off the live pipeline
+        plan = dq.to_plan()
+        report = analyze_plan(plan, ctx)
+        assert "RP001" in report.rule_ids(), report.render()
+        assert report.ok  # dead code warns, it does not abort
+
+    @given(steps)
+    @settings(max_examples=15, deadline=None)
+    def test_feedback_edge_triggers_rp102(self, pipeline):
+        ctx = RheemContext()
+        plan = _build(ctx, pipeline).map(lambda x: x).map(
+            lambda x: x).to_plan()
+        topo = plan.operators()
+        downstream, upstream = topo[-2], topo[-3]
+        upstream.broadcast(downstream)  # feedback via side input
+        report = analyze_plan(plan, ctx)
+        assert report.rule_ids() == {"RP102"}, report.render()
+        assert not report.ok

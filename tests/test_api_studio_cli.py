@@ -233,6 +233,48 @@ class TestCli:
         assert code == 0
         assert "n:" in capsys.readouterr().out
 
+    def test_no_subcommand_is_a_usage_error(self, capsys):
+        from repro.__main__ import main
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        assert "usage" in err and "subcommand" in err
+
+    def test_unknown_subcommand_exits_2(self):
+        from repro.__main__ import main
+        with pytest.raises(SystemExit) as err:
+            main(["frobnicate"])
+        assert err.value.code == 2
+
+    def test_run_requires_a_script_argument(self):
+        from repro.__main__ import main
+        with pytest.raises(SystemExit) as err:
+            main(["run"])
+        assert err.value.code == 2
+
+    def test_serve_rejects_non_numeric_port(self):
+        from repro.__main__ import main
+        with pytest.raises(SystemExit) as err:
+            main(["serve", "--port", "not-a-number"])
+        assert err.value.code == 2
+
+    def test_run_rejects_non_numeric_seed_percent(self, tmp_path):
+        from repro.__main__ import main
+        script = tmp_path / "x.latin"
+        script.write_text("dump 1;")
+        with pytest.raises(SystemExit) as err:
+            main(["run", str(script), "--abstracts", "lots"])
+        assert err.value.code == 2
+
+    def test_lint_parses_and_reports(self, tmp_path, capsys):
+        from repro.__main__ import main
+        script = tmp_path / "clean.py"
+        script.write_text(
+            "from repro import RheemContext\n"
+            "ctx = RheemContext()\n"
+            "ctx.load_collection([1, 2, 3]).map(lambda x: x + 1).collect()\n")
+        assert main(["lint", str(script)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
 
 class TestSerdeKindCoverage:
     def test_full_kind_matrix(self):
