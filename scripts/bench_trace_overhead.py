@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Measure the wall-clock overhead of the tracing/metrics layer.
+
+Runs the TPC-H Q5 polystore workload (the paper's data-civilizer style
+cross-platform query) with tracing disabled and enabled, and writes the
+medians to ``BENCH_trace_overhead.json``.  The acceptance bar for the
+subsystem is < 5% overhead: spans wrap every optimizer phase and every
+stage attempt, so the driver-side cost must stay negligible next to the
+actual optimization + execution work.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_trace_overhead.py [--sf 0.05]
+        [--repeats 7] [--out BENCH_trace_overhead.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import RheemContext  # noqa: E402
+from repro.apps.dataciv import run_polystore  # noqa: E402
+
+
+def _run_once(sf: float, traced: bool) -> float:
+    ctx = RheemContext()
+    if traced:
+        ctx.enable_tracing()
+    start = time.perf_counter()
+    outcome = run_polystore(ctx, sf)
+    elapsed = time.perf_counter() - start
+    assert outcome.result, "Q5 returned no rows"
+    if traced:
+        assert ctx.tracer.find("optimizer.enumerate"), "no spans recorded"
+    return elapsed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sf", type=float, default=0.05,
+                        help="TPC-H scale factor (default 0.05)")
+    parser.add_argument("--repeats", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_trace_overhead.json")
+    args = parser.parse_args(argv)
+
+    # Warm-up (imports, first-touch allocation) outside the measurement.
+    _run_once(args.sf, traced=False)
+    _run_once(args.sf, traced=True)
+
+    off, on = [], []
+    for i in range(args.repeats):
+        off.append(_run_once(args.sf, traced=False))
+        on.append(_run_once(args.sf, traced=True))
+        print(f"repeat {i}: off={off[-1]:.4f}s on={on[-1]:.4f}s")
+
+    median_off = statistics.median(off)
+    median_on = statistics.median(on)
+    overhead = median_on / median_off - 1.0
+    report = {
+        "workload": "tpch_q5_polystore",
+        "scale_factor": args.sf,
+        "repeats": args.repeats,
+        "tracing_off_s": {"median": median_off, "min": min(off),
+                          "samples": off},
+        "tracing_on_s": {"median": median_on, "min": min(on),
+                         "samples": on},
+        "overhead_fraction": overhead,
+        "overhead_percent": overhead * 100.0,
+        "budget_percent": 5.0,
+        "within_budget": overhead < 0.05,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"tracing off: {median_off:.4f}s  on: {median_on:.4f}s  "
+          f"overhead: {overhead * 100:.2f}% (budget 5%)")
+    print(f"wrote {args.out}")
+    return 0 if report["within_budget"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,7 @@ else
 fi
 
 if command -v mypy >/dev/null 2>&1; then
-    echo "==> mypy (strict: repro.analysis, repro.core)"
+    echo "==> mypy (strict: repro.analysis, repro.trace, repro.core)"
     mypy || failures=$((failures + 1))
 else
     echo "==> mypy not installed; SKIPPED (pip install -e .[lint])"

@@ -2,17 +2,22 @@
 
 Usage::
 
-    python -m repro run SCRIPT.latin [--abstracts PCT] [--pagelinks PCT]
+    python -m repro run SCRIPT.latin [--profile] [--abstracts PCT]
+    python -m repro trace SCRIPT.latin [--out job.trace.json]
     python -m repro serve [--port 8642]
     python -m repro lint SCRIPT.{py,latin}
 
 ``run`` executes a RheemLatin script against a fresh context (optionally
 pre-seeding the virtual HDFS with the benchmark corpora so scripts have
-something to read); ``dump``ed results are printed.  ``serve`` exposes the
-REST interface (``POST /jobs`` with a JSON job document) via wsgiref.
-``lint`` executes a Python or RheemLatin script under the static analyzer
-and prints every diagnostic raised against the plans it builds; the exit
-status is 1 when any error-severity diagnostic fires, else 0.
+something to read); ``dump``ed results are printed, and ``--profile``
+appends the wall-clock span tree, metrics and simulated stage timelines.
+``trace`` runs the script with tracing enabled and writes a Chrome
+trace-event file (open it in ``chrome://tracing`` or Perfetto).
+``serve`` exposes the REST interface (``POST /jobs`` with a JSON job
+document) via wsgiref.  ``lint`` executes a Python or RheemLatin script
+under the static analyzer and prints every diagnostic raised against the
+plans it builds; the exit status is 1 when any error-severity diagnostic
+fires, else 0.
 """
 
 from __future__ import annotations
@@ -38,13 +43,42 @@ def _build_context(args: argparse.Namespace) -> RheemContext:
 def _cmd_run(args: argparse.Namespace) -> int:
     with open(args.script) as handle:
         source = handle.read()
-    interpreter = Interpreter(_build_context(args))
+    ctx = _build_context(args)
+    if args.profile:
+        ctx.enable_tracing()
+    interpreter = Interpreter(ctx)
     results = interpreter.run(source)
     for name, value in results.items():
         preview = value if len(value) <= 20 else value[:20]
         print(f"{name}: {preview}")
         if len(value) > 20:
             print(f"  ... ({len(value)} records total)")
+    if args.profile:
+        from .studio import render_profile
+
+        print("--- profile ---")
+        print(render_profile(interpreter.executions, ctx.tracer,
+                             ctx.metrics), end="")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .trace import write_chrome_trace
+
+    with open(args.script) as handle:
+        source = handle.read()
+    ctx = _build_context(args)
+    tracer = ctx.enable_tracing()
+    interpreter = Interpreter(ctx)
+    interpreter.run(source)
+    trackers = [result.tracker for result in interpreter.executions]
+    out_path = args.out or f"{args.script}.trace.json"
+    with open(out_path, "w") as handle:
+        events = write_chrome_trace(handle, tracer, trackers, ctx.metrics)
+    print(f"wrote {events} trace events ({len(trackers)} job(s)) "
+          f"to {out_path}")
+    print("open chrome://tracing (or https://ui.perfetto.dev) and load "
+          "the file to inspect the timelines")
     return 0
 
 
@@ -111,12 +145,19 @@ def main(argv: list[str] | None = None) -> int:
 
     run = sub.add_parser("run", help="execute a RheemLatin script")
     run.add_argument("script", help="path to the .latin script")
+    run.add_argument("--profile", action="store_true",
+                     help="print a span/metrics profile after the run")
+    trace = sub.add_parser(
+        "trace", help="execute a script and write a Chrome trace file")
+    trace.add_argument("script", help="path to the .latin script")
+    trace.add_argument("--out", default=None,
+                       help="trace file path (default: SCRIPT.trace.json)")
     serve = sub.add_parser("serve", help="start the REST service")
     serve.add_argument("--port", type=int, default=8642)
     lint = sub.add_parser(
         "lint", help="statically analyze the plans a script builds")
     lint.add_argument("script", help="path to a .py or .latin script")
-    for p in (run, serve, lint):
+    for p in (run, trace, serve, lint):
         p.add_argument("--abstracts", type=float, default=0.0,
                        help="seed hdfs://data/abstracts.txt at this percent")
         p.add_argument("--pagelinks", type=float, default=0.0,
@@ -126,10 +167,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.command is None:
         parser.print_usage(sys.stderr)
         print("repro: error: a subcommand is required "
-              "(run, serve or lint)", file=sys.stderr)
+              "(run, trace, serve or lint)", file=sys.stderr)
         return 2
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return _cmd_serve(args)

@@ -20,6 +20,7 @@ from ..core.optimizer import OptimizationError
 from ..core.plan import PlanValidationError
 from ..latin.translator import resolve_platform
 from ..simulation.cluster import SimulatedOutOfMemory
+from ..trace import Tracer, trace_block
 from .serde import PlanDocumentError, build_quanta
 
 
@@ -35,11 +36,20 @@ class RheemService:
         """Run one job document; always returns a JSON-ready dict.
 
         Response shape: ``{"status": "ok", "output": [...], "runtime": s,
-        "platforms": [...], "price_usd": d, "diagnostics": [...]}`` or
+        "platforms": [...], "price_usd": d, "diagnostics": [...],
+        "trace": {"spans": [...], "metrics": {...}}}`` or
         ``{"status": "error", "error": "...", "kind": "..."}``; error
         responses carry a ``diagnostics`` list too when the static analyzer
         rejected the plan.
+
+        Each job runs under its own per-request tracer (swapped onto the
+        shared context for the duration of the call), so concurrent or
+        sequential submissions never mix spans; the metrics registry is
+        shared across the service's lifetime.
         """
+        tracer = Tracer()
+        saved_tracer = self.ctx.tracer
+        self.ctx.tracer = tracer
         try:
             quanta = build_quanta(self.ctx, document, self.env)
             execution = document.get("execution", {})
@@ -64,6 +74,8 @@ class RheemService:
         except SimulatedOutOfMemory as exc:
             return {"status": "error", "kind": "OutOfMemory",
                     "error": str(exc)}
+        finally:
+            self.ctx.tracer = saved_tracer
         return {
             "status": "ok",
             "output": _jsonable(result.output),
@@ -71,6 +83,7 @@ class RheemService:
             "platforms": sorted(result.platforms),
             "price_usd": price_of(result),
             "diagnostics": [d.to_json() for d in result.diagnostics],
+            "trace": trace_block(tracer, self.ctx.metrics),
         }
 
 

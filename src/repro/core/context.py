@@ -23,6 +23,7 @@ from typing import Any, Callable, Iterable, Sequence
 from ..platforms import builtin_platforms
 from ..platforms.pgres.engine import PgresDatabase
 from ..simulation.cluster import VirtualCluster
+from ..trace import NO_TRACER, MetricsRegistry, Tracer
 from . import operators as ops
 from .cardinality import CardinalityEstimate
 from .channels import ChannelConversionGraph
@@ -46,6 +47,9 @@ class RheemContext:
         cost_params: Learned cost-model parameters (from
             :mod:`repro.learn`); ``None`` uses the calibrated defaults.
         config: Job configuration (e.g. ``{"seed": 7}``).
+        tracer: A :class:`~repro.trace.Tracer` to receive optimizer and
+            executor spans; defaults to the no-op tracer (call
+            :meth:`enable_tracing` to install a recording one).
     """
 
     def __init__(
@@ -54,6 +58,7 @@ class RheemContext:
         platforms: Sequence | None = None,
         cost_params: dict[str, OperatorCostParams] | None = None,
         config: dict[str, Any] | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.cluster = cluster or VirtualCluster()
         self.pgres = PgresDatabase()
@@ -71,6 +76,14 @@ class RheemContext:
         self.cost_model = CostModel(self.cluster, cost_params)
         self.config = {"seed": 42}
         self.config.update(config or {})
+        self.tracer = tracer if tracer is not None else NO_TRACER
+        self.metrics = MetricsRegistry()
+
+    def enable_tracing(self) -> Tracer:
+        """Install (and return) a recording tracer on this context."""
+        if not getattr(self.tracer, "enabled", False):
+            self.tracer = Tracer()
+        return self.tracer
 
     # ------------------------------------------------------------- plumbing
     @property
@@ -103,12 +116,15 @@ class RheemContext:
             estimation_ctx=self.estimation_context(overrides),
             allowed_platforms=allowed_platforms,
             objective=objective,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
 
     def executor(self) -> Executor:
         """An executor bound to this context's cluster and engines."""
         return Executor(self.cluster, self.graph, pgres=self.pgres,
-                        config=self.config)
+                        config=self.config, tracer=self.tracer,
+                        metrics=self.metrics)
 
     # ------------------------------------------------------------ execution
     def execute(

@@ -19,10 +19,11 @@ The executor also implements:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from ..simulation.clock import CostMeter, CriticalPathTracker
 from ..simulation.cluster import VirtualCluster
+from ..trace import NO_TRACER, MetricsRegistry
 from .cardinality import CardinalityEstimate
 from .channels import Channel, ChannelConversionGraph, ConversionPath
 from .execution import (
@@ -106,13 +107,15 @@ class Executor:
         conversion_graph: ChannelConversionGraph,
         pgres: Any = None,
         config: dict[str, Any] | None = None,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.cluster = cluster
         self.graph = conversion_graph
         self.pgres = pgres
         self.config = dict(config or {})
-        self._fault_injector = None
-        self._max_stage_retries = 0
+        self.tracer = tracer or NO_TRACER
+        self.metrics = metrics or MetricsRegistry()
 
     # ----------------------------------------------------------- execution
     def execute(
@@ -122,7 +125,7 @@ class Executor:
         monitor: Monitor | None = None,
         tracker: CriticalPathTracker | None = None,
         checkpoint: CheckpointHook | None = None,
-        sniffers: list[Sniffer] = (),
+        sniffers: Sequence[Sniffer] = (),
         started_platforms: set[str] | None = None,
         initial_env: dict[int, Channel] | None = None,
         fault_injector=None,
@@ -135,15 +138,19 @@ class Executor:
         Failed stages (simulated crashes from ``fault_injector``) are re-run
         from their materialized inputs up to ``max_stage_retries`` times —
         the cross-platform fault tolerance of :mod:`repro.core.faults`.
+        The injector and retry bound live only on this call's stack: a
+        raised :class:`PlatformFailure` or :class:`ReplanRequested` cannot
+        leave a stale injector armed for a later ``execute()`` on the same
+        executor (the progressive-optimizer resume path reuses it).
 
         Raises:
             ReplanRequested: If the ``checkpoint`` hook asks for
                 re-optimization after some stage.
             PlatformFailure: If a stage keeps crashing past the retry bound.
         """
-        self._fault_injector = fault_injector
-        self._max_stage_retries = max_stage_retries if fault_injector else 0
-        monitor = monitor or Monitor(estimates=dict(estimates or {}))
+        max_retries = max_stage_retries if fault_injector else 0
+        monitor = monitor or Monitor(estimates=dict(estimates or {}),
+                                     metrics=self.metrics)
         tracker = tracker or CriticalPathTracker()
         started = started_platforms if started_platforms is not None else set()
         ctx = ExecutionContext(cluster=self.cluster, pgres=self.pgres,
@@ -164,28 +171,32 @@ class Executor:
                     crossing.add(ti.producer.id)
         completed_logical: set[int] = set()
         previous_stage_id: str | None = None
-        for index, stage in enumerate(stages):
-            deps = sorted(stage.dependencies)
-            if not parallelize_stages and previous_stage_id is not None:
-                # The paper's "stage parallelization" switch: with it off,
-                # stages run strictly one after another (used for the
-                # single-platform baseline measurements).
-                deps = sorted(set(deps) | {previous_stage_id})
-            timing = self._run_stage_with_retries(
-                stage, stage.id, deps, env, ctx,
-                conversion_cache, tracker, started, sniffer_map, monitor,
-                crossing=crossing, completed_logical=completed_logical)
-            previous_stage_id = timing.stage_id
-            remaining = stages[index + 1:]
-            if checkpoint is not None and remaining:
-                if checkpoint(monitor, set(completed_logical)):
-                    raise ReplanRequested(PausedExecution(
-                        materialized=self._materialized(plan, env),
-                        completed_logical_ids=set(completed_logical),
-                        tracker=tracker,
-                        monitor=monitor,
-                        started_platforms=started,
-                    ))
+        with self.tracer.span("executor.run", stages=len(stages)) as run_span:
+            for index, stage in enumerate(stages):
+                deps = sorted(stage.dependencies)
+                if not parallelize_stages and previous_stage_id is not None:
+                    # The paper's "stage parallelization" switch: with it
+                    # off, stages run strictly one after another (used for
+                    # the single-platform baseline measurements).
+                    deps = sorted(set(deps) | {previous_stage_id})
+                timing = self._run_stage_with_retries(
+                    stage, stage.id, deps, env, ctx,
+                    conversion_cache, tracker, started, sniffer_map, monitor,
+                    injector=fault_injector, max_retries=max_retries,
+                    crossing=crossing, completed_logical=completed_logical)
+                previous_stage_id = timing.stage_id
+                remaining = stages[index + 1:]
+                if checkpoint is not None and remaining:
+                    if checkpoint(monitor, set(completed_logical)):
+                        run_span.set("paused_after", stage.id)
+                        raise ReplanRequested(PausedExecution(
+                            materialized=self._materialized(plan, env),
+                            completed_logical_ids=set(completed_logical),
+                            tracker=tracker,
+                            monitor=monitor,
+                            started_platforms=started,
+                        ))
+            run_span.set("sim_makespan", tracker.makespan)
 
         outputs = [env[t.id].payload for t in plan.sink_tasks]
         return ExecutionResult(
@@ -200,56 +211,105 @@ class Executor:
     # -------------------------------------------------------------- stages
     def _run_stage_with_retries(self, stage, label, deps, env, ctx, cache,
                                 tracker, started, sniffer_map, monitor,
+                                injector=None, max_retries=0,
                                 crossing=None, completed_logical=None):
         """Run one stage, retrying on injected platform failures.
 
         Wasted attempts are recorded on the critical path (the cluster paid
         for them); the successful attempt chains after the last failure.
+
+        Every attempt runs against *buffered* state — a scratch channel
+        environment, conversion cache, monitor and sniffer queue — that is
+        committed only when the attempt survives the fault injector.  A
+        crashed attempt therefore leaves nothing behind except its
+        critical-path charge: no half-completed operators for a later
+        checkpoint to hand the progressive optimizer, no phantom monitor
+        observations polluting the cost learner's calibration log, and no
+        double-delivered sniffer payloads.
         """
         from .faults import PlatformFailure
 
         attempt = 0
         previous_attempt_id = None
-        while True:
-            meter = CostMeter()
-            saved_meter = ctx.meter
-            ctx.meter = meter
-            observations: list[OperatorObservation] = []
-            self._charge_stage_overheads(stage, meter, started)
-            for task in stage.tasks:
-                self._execute_task(task, env, ctx, cache, tracker, started,
-                                   sniffer_map, parent_stage=stage,
-                                   observations=observations)
-                if completed_logical is not None and task.logical_id is not None:
-                    completed_logical.add(task.logical_id)
-                # Within-stage outputs are pipelined; only data materialized
-                # at a stage boundary occupies the platform's memory.
-                out = env[task.id]
-                if (crossing is not None and task.id in crossing
-                        and out.actual_count is not None
-                        and out.descriptor.in_memory
-                        and task.platform in self.cluster.profiles):
-                    self.cluster.check_memory(task.platform, out.sim_mb)
-            ctx.meter = saved_meter
-            attempt_deps = (list(deps) if previous_attempt_id is None
-                            else [previous_attempt_id])
-            injector = self._fault_injector
-            if injector is not None and injector.should_fail(label, attempt):
-                if attempt >= self._max_stage_retries:
-                    raise PlatformFailure(label, attempt)
-                previous_attempt_id = f"{label}.attempt{attempt}"
-                tracker.record(previous_attempt_id, attempt_deps, meter)
-                attempt += 1
-                continue
-            timing = tracker.record(label, attempt_deps, meter)
-            if monitor is not None:
-                monitor.record_stage(timing, stage.platform, observations)
-            return timing
+        with self.tracer.span(f"stage:{label}",
+                              platform=stage.platform) as stage_span:
+            while True:
+                meter = CostMeter()
+                attempt_env = dict(env)
+                attempt_cache = dict(cache)
+                attempt_completed: set[int] = set()
+                memory_demands: list[tuple[str, float]] = []
+                pending_sniffs: list[tuple[list[Sniffer], Any, Channel]] = []
+                observations: list[OperatorObservation] = []
+                saved_meter, saved_monitor = ctx.meter, ctx.monitor
+                scratch = Monitor() if saved_monitor is not None else None
+                ctx.meter, ctx.monitor = meter, scratch
+                with self.tracer.span(f"attempt{attempt}") as attempt_span:
+                    try:
+                        self._charge_stage_overheads(stage, meter, started)
+                        for task in stage.tasks:
+                            self._execute_task(
+                                task, attempt_env, ctx, attempt_cache,
+                                tracker, started, sniffer_map,
+                                parent_stage=stage, observations=observations,
+                                pending_sniffs=pending_sniffs,
+                                injector=injector, max_retries=max_retries)
+                            if task.logical_id is not None:
+                                attempt_completed.add(task.logical_id)
+                            # Within-stage outputs are pipelined; only data
+                            # materialized at a stage boundary occupies the
+                            # platform's memory.
+                            out = attempt_env[task.id]
+                            if (crossing is not None and task.id in crossing
+                                    and out.actual_count is not None
+                                    and out.descriptor.in_memory
+                                    and task.platform in self.cluster.profiles):
+                                memory_demands.append(
+                                    (task.platform, out.sim_mb))
+                    finally:
+                        ctx.meter, ctx.monitor = saved_meter, saved_monitor
+                    attempt_deps = (list(deps) if previous_attempt_id is None
+                                    else [previous_attempt_id])
+                    failed = (injector is not None
+                              and injector.should_fail(label, attempt))
+                    attempt_span.set("failed", failed)
+                    attempt_span.set("sim_seconds", meter.total)
+                self.metrics.counter("executor.attempts").inc()
+                if failed:
+                    if attempt >= max_retries:
+                        raise PlatformFailure(label, attempt)
+                    # Discard the attempt's buffered state; only the
+                    # critical-path charge survives.
+                    self.metrics.counter("executor.retries_wasted").inc()
+                    previous_attempt_id = f"{label}.attempt{attempt}"
+                    tracker.record(previous_attempt_id, attempt_deps, meter)
+                    attempt += 1
+                    continue
+                # Commit: the attempt survived, so its state becomes real.
+                for platform, needed_mb in memory_demands:
+                    self.cluster.check_memory(platform, needed_mb)
+                env.update(attempt_env)
+                cache.update(attempt_cache)
+                if completed_logical is not None:
+                    completed_logical |= attempt_completed
+                if saved_monitor is not None and scratch is not None:
+                    saved_monitor.absorb(scratch)
+                for sniffers, op, out in pending_sniffs:
+                    self._sniff(sniffers, op, out, meter)
+                timing = tracker.record(label, attempt_deps, meter)
+                stage_span.set("attempts", attempt + 1)
+                stage_span.set("sim_seconds", meter.total)
+                self.metrics.counter("executor.stages").inc()
+                if monitor is not None:
+                    monitor.record_stage(timing, stage.platform, observations)
+                return timing
 
     # --------------------------------------------------------------- tasks
     def _execute_task(self, task, env, ctx, cache, tracker, started,
                       sniffer_map, parent_stage,
-                      observations: list | None = None) -> None:
+                      observations: list | None = None,
+                      pending_sniffs: list | None = None,
+                      injector=None, max_retries=0) -> None:
         op = task.operator
         if isinstance(op, LoopBodySource):
             if task.id not in env:
@@ -263,7 +323,8 @@ class Executor:
                       for ti in task.broadcast_inputs]
         if isinstance(op, LoopImplementation):
             out = self._run_loop(op, inputs, ctx, tracker, started,
-                                 parent_stage)
+                                 parent_stage, injector=injector,
+                                 max_retries=max_retries)
         else:
             out = op.execute(inputs, broadcasts, ctx)
             ctx.record_output(op, out)
@@ -276,17 +337,22 @@ class Executor:
                     op.platform, op.op_kind, op.work(), cin, cout))
             logical_id = task.logical_id
             if logical_id in sniffer_map and out.actual_count is not None:
-                self._sniff(sniffer_map[logical_id], op, out, ctx)
+                # Deferred to commit time: a crashed attempt never produced
+                # observable data, so its sniffers must stay silent.
+                if pending_sniffs is not None:
+                    pending_sniffs.append((sniffer_map[logical_id], op, out))
+                else:
+                    self._sniff(sniffer_map[logical_id], op, out, ctx.meter)
         env[task.id] = out
 
-    def _sniff(self, sniffers, op, channel: Channel, ctx) -> None:
+    def _sniff(self, sniffers, op, channel: Channel, meter: CostMeter) -> None:
         platform = op.platform
         profile = (self.cluster.profile(platform)
                    if platform in self.cluster.profiles else None)
         for sniffer in sniffers:
             sniffer.callback(channel.payload)
             if profile is not None:
-                ctx.meter.charge(
+                meter.charge(
                     profile.cpu_seconds(channel.sim_cardinality,
                                         sniffer.cost_factor),
                     f"sniffer[{op.name}]", category="cpu")
@@ -300,7 +366,9 @@ class Executor:
             if key in cache:
                 current = cache[key]
             else:
-                current = step.apply(current, ctx)
+                with self.tracer.span(f"convert:{step.name}"):
+                    current = step.apply(current, ctx)
+                self.metrics.counter("executor.conversions").inc()
                 cache[key] = current
         return current
 
@@ -314,6 +382,7 @@ class Executor:
         if stage.platform not in started:
             meter.charge(profile.startup_s, f"{stage.platform}.startup",
                          category="overhead")
+            self.metrics.counter("executor.platform_startups").inc()
             started.add(stage.platform)
         fraction = max((t.operator.tasks_fraction(profile)
                         for t in stage.tasks
@@ -324,7 +393,8 @@ class Executor:
 
     # --------------------------------------------------------------- loops
     def _run_loop(self, impl: LoopImplementation, inputs: list[Channel],
-                  ctx, tracker, started, parent_stage) -> Channel:
+                  ctx, tracker, started, parent_stage,
+                  injector=None, max_retries=0) -> Channel:
         loop = impl.logical
         channels = list(inputs)
         body_stages = impl.body_plan.build_stages()
@@ -349,7 +419,8 @@ class Executor:
                             else initial_deps)
                 self._run_stage_with_retries(
                     stage, f"{prefix}.{stage.id}", deps, env, ctx, cache,
-                    tracker, started, sniffer_map, ctx.monitor)
+                    tracker, started, sniffer_map, ctx.monitor,
+                    injector=injector, max_retries=max_retries)
             if body_stages:
                 last_tail = f"{prefix}.{body_stages[-1].id}"
             loop_var = env[impl.body_plan.sink_tasks[0].id]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..simulation.clock import StageTiming
+from ..trace import MetricsRegistry
 from .cardinality import CardinalityEstimate
 
 
@@ -68,6 +69,7 @@ class Monitor:
     operator_names: dict[int, str] = field(default_factory=dict)
     stage_timings: list[StageTiming] = field(default_factory=list)
     stage_observations: list[StageObservation] = field(default_factory=list)
+    metrics: MetricsRegistry | None = field(default=None, repr=False)
 
     def record_cardinality(self, exec_op, sim_cardinality: float) -> None:
         """Called by the execution context after each operator output."""
@@ -76,17 +78,41 @@ class Monitor:
             return
         self.actuals[logical.id] = sim_cardinality
         self.operator_names[logical.id] = logical.name
+        if self.metrics is not None:
+            self.metrics.counter("monitor.cardinalities").inc()
 
     def record_stage(self, timing: StageTiming,
                      platform: str = "",
                      operators: list[OperatorObservation] | None = None) -> None:
+        """Log one executed stage.
+
+        Conversion-only stages (no operator observations) are recorded
+        with an empty operator list so their directly metered
+        ``known_seconds`` still reach the cost learner's calibration —
+        dropping them would silently bias the fit.
+        """
         self.stage_timings.append(timing)
-        if operators:
-            known = sum(e.seconds for e in timing.meter.events
-                        if e.category != "cpu")
-            self.stage_observations.append(StageObservation(
-                timing.stage_id, platform, timing.duration, known,
-                list(operators)))
+        known = sum(e.seconds for e in timing.meter.events
+                    if e.category != "cpu")
+        self.stage_observations.append(StageObservation(
+            timing.stage_id, platform, timing.duration, known,
+            list(operators or [])))
+        if self.metrics is not None:
+            self.metrics.counter("monitor.stages").inc()
+            self.metrics.histogram("monitor.stage_sim_seconds").observe(
+                timing.duration)
+
+    def absorb(self, other: "Monitor") -> None:
+        """Fold a committed per-attempt buffer into this monitor.
+
+        The executor runs every stage attempt against a scratch monitor
+        and absorbs it only on success, so crashed attempts never leak
+        observations into the progressive optimizer's view.
+        """
+        self.actuals.update(other.actuals)
+        self.operator_names.update(other.operator_names)
+        self.stage_timings.extend(other.stage_timings)
+        self.stage_observations.extend(other.stage_observations)
 
     def mismatches(self, tolerance: float = 2.0) -> list[CardinalityMismatch]:
         """Operators whose measured cardinality falls badly outside the

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..platforms.base import ExecutionOperator
+from ..trace import NO_TRACER, MetricsRegistry
 from .cardinality import CardinalityEstimate
 from .channels import (
     ChannelConversionError,
@@ -145,6 +146,8 @@ class Optimizer:
         estimation_ctx: EstimationContext | None = None,
         allowed_platforms: set[str] | None = None,
         objective=None,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         from .objectives import RUNTIME
 
@@ -162,6 +165,11 @@ class Optimizer:
         #: Static analysis gate: lint every plan before enumeration, abort
         #: on error-level findings (set False to optimize unchecked).
         self.analysis = True
+        self.tracer = tracer or NO_TRACER
+        self.metrics = metrics or MetricsRegistry()
+        #: Per-phase counters of the last :meth:`pick_best` run.
+        self.stats: dict[str, int] = dict.fromkeys(
+            ("plans_enumerated", "plans_pruned", "conversion_paths_solved"), 0)
 
     # ----------------------------------------------------------- public API
     def optimize(self, plan: RheemPlan) -> ExecutionPlan:
@@ -176,26 +184,42 @@ class Optimizer:
         (:class:`PlanAnalysisError`); warnings annotate ``plan.diagnostics``
         and decay the confidence of estimates flowing through impure UDFs.
         """
-        report = self._analyze(plan)
-        cards = plan.estimate_cardinalities(self.estimation_ctx)
-        if report is not None:
-            for op_id, penalty in report.confidence_penalties.items():
-                est = cards.get(op_id)
-                if est is not None:
-                    cards[op_id] = CardinalityEstimate(
-                        est.lower, est.upper, est.confidence * penalty)
-        inflated = inflate(plan, self.registry)
-        ops = plan.operators()
-        bprs = self._estimate_record_bytes(ops)
+        self.stats = dict.fromkeys(self.stats, 0)
+        with self.tracer.span("optimizer.analyze"):
+            report = self._analyze(plan)
+        with self.tracer.span("optimizer.estimate") as estimate_span:
+            cards = plan.estimate_cardinalities(self.estimation_ctx)
+            if report is not None:
+                for op_id, penalty in report.confidence_penalties.items():
+                    est = cards.get(op_id)
+                    if est is not None:
+                        cards[op_id] = CardinalityEstimate(
+                            est.lower, est.upper, est.confidence * penalty)
+            estimate_span.set("operators_estimated", len(cards))
+        with self.tracer.span("optimizer.inflate") as inflate_span:
+            inflated = inflate(plan, self.registry)
+            ops = plan.operators()
+            inflate_span.set("operators", len(ops))
+        with self.tracer.span("optimizer.movement") as movement_span:
+            bprs = self._estimate_record_bytes(ops)
+            movement_span.set("record_widths_modeled", len(bprs))
 
         def alternatives(op: Operator):
             if isinstance(op, LoopOperator):
                 return self._loop_decisions(op, cards, bprs)
             return self._filter_alternatives(op, inflated.alternatives_for(op))
 
-        results = self._enumerate_ops(ops, cards, bprs, alternatives,
-                                      phantom_open=set(),
-                                      include_startup=True)
+        with self.tracer.span("optimizer.enumerate") as enumerate_span:
+            results = self._enumerate_ops(ops, cards, bprs, alternatives,
+                                          phantom_open=set(),
+                                          include_startup=True)
+            for key, value in self.stats.items():
+                enumerate_span.set(key, value)
+                self.metrics.counter(f"optimizer.{key}").inc(value)
+        # Conversion paths are solved while enumerating, so the movement
+        # phase's headline counter is only known after the fact.
+        movement_span.set("conversion_paths_solved",
+                          self.stats["conversion_paths_solved"])
         if not results:
             raise OptimizationError("enumeration produced no executable plan")
         best = min(results, key=lambda p: p.cost.geometric_mean)
@@ -384,6 +408,7 @@ class Optimizer:
                         candidates.append(extended)
             if not candidates:
                 raise OptimizationError(f"no executable plan at operator {op}")
+            self.stats["plans_enumerated"] += len(candidates)
             if self.prune:
                 best_by_key: dict[tuple, PartialPlan] = {}
                 for cand in candidates:
@@ -393,6 +418,7 @@ class Optimizer:
                             < incumbent.cost.geometric_mean):
                         best_by_key[key] = cand
                 frontier = list(best_by_key.values())
+                self.stats["plans_pruned"] += len(candidates) - len(frontier)
             else:
                 frontier = candidates
             self.last_enumeration_size += len(frontier)
@@ -532,6 +558,7 @@ class Optimizer:
                     bytes_per_record: float) -> ConversionPath | None:
         if have.name == want.name:
             return ConversionPath([], 0.0)
+        self.stats["conversion_paths_solved"] += 1
         try:
             return self.graph.cheapest_path(
                 have, want, card.geometric_mean, bytes_per_record)

@@ -113,9 +113,11 @@ def execute_progressively(
         except ReplanRequested as paused:
             state = paused.state
             replans += 1
-            for logical_id, actual in state.monitor.actuals.items():
-                overrides[logical_id] = CardinalityEstimate.exact(actual)
-            plan = _residual_plan(plan, state)
+            executor.metrics.counter("progressive.replans").inc()
+            with executor.tracer.span("progressive.replan", round=replans):
+                for logical_id, actual in state.monitor.actuals.items():
+                    overrides[logical_id] = CardinalityEstimate.exact(actual)
+                plan = _residual_plan(plan, state)
             tracker = state.tracker
             started = state.started_platforms
 

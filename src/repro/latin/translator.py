@@ -50,6 +50,9 @@ class Interpreter:
         self.env = dict(env or {})
         self.datasets: dict[str, DataQuanta] = {}
         self.results: dict[str, Any] = {}
+        #: Full :class:`ExecutionResult` per executed sink, in script order
+        #: (``repro trace`` reads the critical-path trackers off these).
+        self.executions: list[Any] = []
         self._handlers: dict[str, Callable[[OpExpr, int], DataQuanta]] = {}
 
     def register_keyword(
@@ -76,10 +79,13 @@ class Interpreter:
         elif isinstance(statement, Store):
             dq = self._dataset(statement.source, statement.line)
             result = dq.write_text_file(statement.path, **execute_kwargs)
+            self.executions.append(result)
             self.results[statement.source] = result.output
         elif isinstance(statement, Dump):
             dq = self._dataset(statement.source, statement.line)
-            self.results[statement.source] = dq.collect(**execute_kwargs)
+            result = dq.execute(**execute_kwargs)
+            self.executions.append(result)
+            self.results[statement.source] = result.output
 
     # ------------------------------------------------------------- building
     def _dataset(self, name: str, line: int) -> DataQuanta:

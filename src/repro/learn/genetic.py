@@ -18,6 +18,7 @@ from typing import Sequence
 from ..core.cost import OperatorCostParams
 from ..core.monitor import StageObservation
 from ..simulation.cluster import VirtualCluster
+from ..trace import MetricsRegistry
 from .loss import corpus_loss
 
 
@@ -57,6 +58,8 @@ class GeneticCostLearner:
             the paper's split between hardware config and cost functions.
         records: Stage observations (e.g. from the log generator).
         seed: RNG seed for reproducible fits.
+        metrics: Optional registry receiving fit counters/gauges (shared
+            with the monitor and the REST service).
     """
 
     ALPHA_RANGE = (0.0, 8.0)
@@ -65,9 +68,11 @@ class GeneticCostLearner:
 
     def __init__(self, cluster: VirtualCluster,
                  records: Sequence[StageObservation],
-                 seed: int = 7) -> None:
+                 seed: int = 7,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.cluster = cluster
         self.records = list(records)
+        self.metrics = metrics
         self.rng = random.Random(seed)
         keys = {f"{o.platform}.{o.op_kind}"
                 for r in self.records for o in r.operators}
@@ -154,6 +159,11 @@ class GeneticCostLearner:
             fitnesses = [self._fitness(g) for g in population]
             history.append(min(fitnesses))
         best_idx = min(range(len(population)), key=lambda i: fitnesses[i])
+        if self.metrics is not None:
+            self.metrics.counter("learn.fits").inc()
+            self.metrics.counter("learn.generations").inc(generations)
+            self.metrics.counter("learn.observations").inc(len(self.records))
+            self.metrics.gauge("learn.best_loss").set(fitnesses[best_idx])
         return FitResult(
             params=self._decode(population[best_idx]),
             loss=fitnesses[best_idx],

@@ -5,6 +5,8 @@ from .visualize import (
     plan_to_dot,
     render_ascii,
     render_diagnostics,
+    render_profile,
 )
 
-__all__ = ["explain", "plan_to_dot", "render_ascii", "render_diagnostics"]
+__all__ = ["explain", "plan_to_dot", "render_ascii", "render_diagnostics",
+           "render_profile"]

@@ -149,3 +149,24 @@ def render_diagnostics(plan: RheemPlan, indent: str = "  ") -> str:
     for diag in getattr(plan, "diagnostics", []) or []:
         print(f"{indent}{diag.render()}", file=out)
     return out.getvalue()
+
+
+def render_profile(executions=(), tracer=None, metrics=None) -> str:
+    """A job profile: wall-clock span tree, metrics, simulated timelines.
+
+    ``executions`` are :class:`~repro.core.executor.ExecutionResult`
+    objects (one per executed sink); each contributes its monitor's
+    simulated stage timeline below the driver's wall-clock profile.
+    """
+    from ..trace import profile_summary
+
+    out = StringIO()
+    summary = profile_summary(tracer, metrics)
+    if summary:
+        print(summary, file=out)
+    for index, result in enumerate(executions):
+        print(f"job {index} (simulated, makespan "
+              f"{result.runtime:.2f}s):", file=out)
+        for line in result.monitor.report().splitlines():
+            print(f"  {line}", file=out)
+    return out.getvalue()

@@ -1,0 +1,37 @@
+"""Structured tracing and metrics for the cross-platform runtime.
+
+Spans (:mod:`repro.trace.spans`) wrap every optimizer phase and every
+executor stage attempt/conversion; a shared :class:`MetricsRegistry`
+(:mod:`repro.trace.metrics`) collects counters, gauges and histograms
+from the monitor, the cost learner and the REST service; exporters
+(:mod:`repro.trace.export`) render the in-memory tree, JSON-lines and
+the Chrome trace-event format.
+"""
+
+from .export import (
+    chrome_trace,
+    profile_summary,
+    span_records,
+    trace_block,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import NO_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "profile_summary",
+    "span_records",
+    "trace_block",
+    "write_chrome_trace",
+    "write_jsonl",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NO_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+]

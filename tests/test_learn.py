@@ -155,3 +155,56 @@ class TestPersistence:
                        fromlist=["CardinalityEstimate"]
                        ).CardinalityEstimate.exact(10))
         assert cost.geometric_mean == pytest.approx(42.0)
+
+
+class TestConversionOnlyStages:
+    """Stages without operator observations (pure channel conversions)
+    must still reach the calibration log — dropping their known_seconds
+    would bias the fit."""
+
+    def _conversion_timing(self, seconds=2.0):
+        from repro.simulation.clock import CostMeter, CriticalPathTracker
+
+        meter = CostMeter()
+        meter.charge(seconds, "hdfs.read", category="io")
+        return CriticalPathTracker().record("conv", [], meter)
+
+    def test_monitor_records_conversion_only_stages(self):
+        from repro.core.monitor import Monitor
+
+        monitor = Monitor()
+        monitor.record_stage(self._conversion_timing(2.0), "sparklite")
+        (obs,) = monitor.stage_observations
+        assert obs.operators == []
+        assert obs.known_seconds == pytest.approx(2.0)
+        assert obs.platform == "sparklite"
+
+    def test_prediction_falls_back_to_known_seconds(self):
+        record = StageObservation("conv", "sparklite", 2.0, 2.0, [])
+        assert predict_stage(record, {}, VirtualCluster()) == 2.0
+
+    def test_learner_consumes_mixed_logs(self):
+        config = GeneratorConfig(sizes=(150,), sim_factors=(2_000.0,),
+                                 selectivities=(0.4,), udf_weights=(1.0,))
+        records = LogGenerator(config).generate()
+        records.append(StageObservation("conv", "sparklite", 2.0, 2.0, []))
+        learner = GeneticCostLearner(VirtualCluster(), records, seed=3)
+        fit = learner.fit(population_size=12, generations=6)
+        assert fit.loss >= 0
+        # No parameter key is minted for an operator-free stage.
+        assert all("conv" not in key for key in learner.keys)
+
+    def test_fit_reports_metrics(self):
+        from repro.trace import MetricsRegistry
+
+        registry = MetricsRegistry()
+        config = GeneratorConfig(sizes=(150,), sim_factors=(2_000.0,),
+                                 selectivities=(0.4,), udf_weights=(1.0,))
+        records = LogGenerator(config).generate()
+        learner = GeneticCostLearner(VirtualCluster(), records, seed=3,
+                                     metrics=registry)
+        fit = learner.fit(population_size=12, generations=6)
+        snap = registry.snapshot()
+        assert snap["counters"]["learn.fits"] == 1
+        assert snap["counters"]["learn.generations"] == 6
+        assert snap["gauges"]["learn.best_loss"] == pytest.approx(fit.loss)
