@@ -33,6 +33,9 @@ from .workloads import write_abstracts, write_pagelinks
 
 def _build_context(args: argparse.Namespace) -> RheemContext:
     ctx = RheemContext()
+    if getattr(args, "no_cache", False):
+        ctx.plan_cache.enabled = False
+        ctx.graph.caching = False
     if args.abstracts:
         write_abstracts(ctx, "hdfs://data/abstracts.txt", args.abstracts)
     if args.pagelinks:
@@ -162,6 +165,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="seed hdfs://data/abstracts.txt at this percent")
         p.add_argument("--pagelinks", type=float, default=0.0,
                        help="seed hdfs://data/pagelinks.txt at this percent")
+        p.add_argument("--no-cache", action="store_true", dest="no_cache",
+                       help="disable the optimizer's conversion-path and "
+                            "execution-plan caches")
 
     args = parser.parse_args(argv)
     if args.command is None:

@@ -14,16 +14,41 @@ Steiner-tree style dynamic program, which we implement here
 Adding a platform only requires conversions to/from ONE existing channel;
 the graph supplies the rest.  This is the paper's O(n) vs O(n*m)
 extensibility argument, exercised by an ablation benchmark.
+
+Because the optimizer asks for conversion paths thousands of times per
+enumeration (once per candidate edge wiring), the graph memoizes its
+searches: path *structure* is cached per ``(source, target, volume band)``
+— where a band is a quarter-octave of the simulated data volume — while
+costs are always recomputed exactly for the requested volume.  One full
+single-source Dijkstra fills the whole cache row for that band, and
+``multicast_tree`` reuses the same rows as its Steiner all-pairs table.
+Registering a channel or conversion invalidates everything.
 """
 
 from __future__ import annotations
 
 import heapq
+import itertools
+import math
 from dataclasses import dataclass
 from typing import Any, Callable, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..trace import MetricsRegistry
     from .execution import ExecutionContext
+
+
+def volume_band(value: float) -> int:
+    """Quantize a positive magnitude into a quarter-octave log2 band.
+
+    Conversion costs are linear in data volume, so the cheapest path can
+    only flip where cost lines cross; within a ~19%-wide band the winner is
+    stable for every realistic conversion graph, which makes the band a
+    safe memo key (costs themselves are never taken from the cache).
+    """
+    if value <= 1.0:
+        return 0
+    return int(round(math.log2(value) * 4))
 
 
 class ChannelConversionError(RuntimeError):
@@ -201,12 +226,42 @@ class ConversionTree:
         return out
 
 
-class ChannelConversionGraph:
-    """Registry of channels and conversions with path/tree search."""
+#: Sentinel distinguishing "never solved" from "solved: unreachable".
+_UNSOLVED = object()
 
-    def __init__(self) -> None:
+#: Counter names tracked in :attr:`ChannelConversionGraph.cache_stats`.
+CACHE_STAT_NAMES = ("path_hits", "path_misses", "tree_hits", "tree_misses",
+                    "dijkstra_runs", "invalidations")
+
+
+class ChannelConversionGraph:
+    """Registry of channels and conversions with memoized path/tree search.
+
+    Args:
+        metrics: Optional shared registry mirroring the graph's
+            ``conversion_cache.*`` hit/miss counters (see
+            :mod:`repro.trace.metrics`).
+    """
+
+    def __init__(self, metrics: "MetricsRegistry | None" = None) -> None:
         self._descriptors: dict[str, ChannelDescriptor] = {}
         self._edges: dict[str, list[Conversion]] = {}
+        self.metrics = metrics
+        #: Set False to disable memoization (ablations / lossless tests).
+        self.caching = True
+        #: Bumped on every mutation; external caches key off it.
+        self.version = 0
+        #: Monotonic counters of cache behaviour (cheap test access).
+        self.cache_stats: dict[str, int] = dict.fromkeys(CACHE_STAT_NAMES, 0)
+        # (source, target, rec_band, bpr_band) -> tuple[Conversion] | None
+        # (None = proven unreachable; costs are recomputed on every hit).
+        self._path_cache: dict[tuple[str, str, int, int], Any] = {}
+        # Rows already filled by a full single-source Dijkstra.
+        self._solved_rows: set[tuple[str, int, int]] = set()
+        # source -> frozenset of reachable descriptor names.
+        self._reachable: dict[str, frozenset[str]] = {}
+        # (source, targets, rec_band, bpr_band) -> {target: tuple[Conversion]}
+        self._tree_cache: dict[tuple, dict[str, tuple[Conversion, ...]]] = {}
         self.register_channel(HDFS_FILE)
         self.register_channel(LOCAL_FILE)
 
@@ -215,6 +270,8 @@ class ChannelConversionGraph:
         existing = self._descriptors.get(desc.name)
         if existing is not None and existing != desc:
             raise ValueError(f"conflicting descriptor registration for {desc.name}")
+        if existing is None:
+            self._invalidate()
         self._descriptors[desc.name] = desc
         self._edges.setdefault(desc.name, [])
 
@@ -222,6 +279,23 @@ class ChannelConversionGraph:
         self.register_channel(conv.source)
         self.register_channel(conv.target)
         self._edges[conv.source.name].append(conv)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        """Drop every memoized search result (the graph changed)."""
+        self.version += 1
+        if self._path_cache or self._solved_rows or self._tree_cache \
+                or self._reachable:
+            self._stat("invalidations")
+        self._path_cache.clear()
+        self._solved_rows.clear()
+        self._reachable.clear()
+        self._tree_cache.clear()
+
+    def _stat(self, name: str) -> None:
+        self.cache_stats[name] += 1
+        if self.metrics is not None:
+            self.metrics.counter(f"conversion_cache.{name}").inc()
 
     def descriptor(self, name: str) -> ChannelDescriptor:
         try:
@@ -243,24 +317,64 @@ class ChannelConversionGraph:
         sim_records: float,
         bytes_per_record: float = 100.0,
     ) -> ConversionPath:
-        """Dijkstra over the conversion graph for a single consumer.
+        """Minimum-cost conversion chain for a single consumer.
+
+        Memoized: one full Dijkstra per (source, volume band) caches the
+        path structure to EVERY reachable channel; the returned cost is
+        always recomputed exactly for the requested volume.
 
         Raises:
             ChannelConversionError: If the target is unreachable.
         """
         if source.name == target.name:
             return ConversionPath([], 0.0)
-        dist: dict[str, float] = {source.name: 0.0}
+        steps = self._path_steps(source, target, sim_records, bytes_per_record)
+        if steps is None:
+            raise ChannelConversionError(
+                f"no conversion path from {source.name} to {target.name}")
+        return ConversionPath(list(steps), sum(
+            conv.estimate_cost(sim_records, bytes_per_record)
+            for conv in steps))
+
+    def _path_steps(
+        self,
+        source: ChannelDescriptor,
+        target: ChannelDescriptor,
+        sim_records: float,
+        bytes_per_record: float,
+    ) -> tuple[Conversion, ...] | None:
+        """Cached conversion chain ``source -> target`` (None: unreachable)."""
+        if not self.caching:
+            row = self._solve_row(source.name, sim_records, bytes_per_record)
+            return row.get(target.name)
+        band = (volume_band(sim_records), volume_band(bytes_per_record))
+        key = (source.name, target.name, *band)
+        steps = self._path_cache.get(key, _UNSOLVED)
+        if steps is not _UNSOLVED:
+            self._stat("path_hits")
+            return steps
+        self._stat("path_misses")
+        row_key = (source.name, *band)
+        if row_key not in self._solved_rows:
+            row = self._solve_row(source.name, sim_records, bytes_per_record)
+            for name in self._descriptors:
+                self._path_cache[(source.name, name, *band)] = row.get(name)
+            self._solved_rows.add(row_key)
+        return self._path_cache[key]
+
+    def _solve_row(self, source_name: str, sim_records: float,
+                   bytes_per_record: float) -> dict[str, tuple[Conversion, ...]]:
+        """One single-source Dijkstra: cheapest chains to ALL reachable nodes."""
+        self._stat("dijkstra_runs")
+        dist: dict[str, float] = {source_name: 0.0}
         back: dict[str, tuple[str, Conversion]] = {}
-        heap: list[tuple[float, str]] = [(0.0, source.name)]
+        heap: list[tuple[float, str]] = [(0.0, source_name)]
         visited: set[str] = set()
         while heap:
             d, node = heapq.heappop(heap)
             if node in visited:
                 continue
             visited.add(node)
-            if node == target.name:
-                break
             for conv in self._edges.get(node, []):
                 weight = conv.estimate_cost(sim_records, bytes_per_record)
                 nd = d + weight
@@ -268,17 +382,34 @@ class ChannelConversionGraph:
                     dist[conv.target.name] = nd
                     back[conv.target.name] = (node, conv)
                     heapq.heappush(heap, (nd, conv.target.name))
-        if target.name not in visited:
-            raise ChannelConversionError(
-                f"no conversion path from {source.name} to {target.name}")
-        steps: list[Conversion] = []
-        node = target.name
-        while node != source.name:
-            prev, conv = back[node]
-            steps.append(conv)
-            node = prev
-        steps.reverse()
-        return ConversionPath(steps, dist[target.name])
+        row: dict[str, tuple[Conversion, ...]] = {}
+        for name in visited:
+            steps: list[Conversion] = []
+            node = name
+            while node != source_name:
+                prev, conv = back[node]
+                steps.append(conv)
+                node = prev
+            steps.reverse()
+            row[name] = tuple(steps)
+        return row
+
+    def reachable_from(self, name: str) -> frozenset[str]:
+        """Descriptor names reachable from ``name`` (BFS, memoized)."""
+        cached = self._reachable.get(name) if self.caching else None
+        if cached is None:
+            seen = {name}
+            frontier = [name]
+            while frontier:
+                node = frontier.pop()
+                for conv in self._edges.get(node, []):
+                    if conv.target.name not in seen:
+                        seen.add(conv.target.name)
+                        frontier.append(conv.target.name)
+            cached = frozenset(seen)
+            if self.caching:
+                self._reachable[name] = cached
+        return cached
 
     def multicast_tree(
         self,
@@ -306,18 +437,44 @@ class ChannelConversionGraph:
                                       bytes_per_record)
             return ConversionTree(source, {names[0]: path}, path.cost)
 
-        # All-pairs shortest paths among relevant nodes via repeated Dijkstra.
-        nodes = list(self._descriptors)
+        # Nodes the source cannot reach can never join the tree: prune them
+        # from the Steiner DP up front, and fail fast on unreachable targets
+        # instead of silently iterating them through the DP tables.
+        reachable = self.reachable_from(source.name)
+        missing = [n for n in names if n not in reachable]
+        if missing:
+            raise ChannelConversionError(
+                f"no conversion tree from {source.name} to {names}"
+                f" (unreachable: {missing})")
+
+        band = (volume_band(sim_records), volume_band(bytes_per_record))
+        tree_key = (source.name, tuple(names), *band)
+        if self.caching:
+            cached = self._tree_cache.get(tree_key)
+            if cached is not None:
+                self._stat("tree_hits")
+                return self._tree_from_segments(source, cached, sim_records,
+                                                bytes_per_record)
+            self._stat("tree_misses")
+
+        # The Steiner all-pairs table reuses the memoized Dijkstra rows (one
+        # per (node, band), shared with cheapest_path and later calls)
+        # instead of recomputing |V|^2 searches per invocation.
+        nodes = [n for n in self._descriptors if n in reachable]
         paths: dict[str, dict[str, ConversionPath]] = {}
         for start in nodes:
+            start_desc = self._descriptors[start]
             paths[start] = {}
             for end in nodes:
-                try:
-                    paths[start][end] = self.cheapest_path(
-                        self._descriptors[start], self._descriptors[end],
-                        sim_records, bytes_per_record)
-                except ChannelConversionError:
+                if start == end:
+                    paths[start][end] = ConversionPath([], 0.0)
                     continue
+                steps = self._path_steps(start_desc, self._descriptors[end],
+                                         sim_records, bytes_per_record)
+                if steps is not None:
+                    paths[start][end] = ConversionPath(list(steps), sum(
+                        conv.estimate_cost(sim_records, bytes_per_record)
+                        for conv in steps))
 
         full = (1 << len(names)) - 1
         index = {name: i for i, name in enumerate(names)}
@@ -361,31 +518,71 @@ class ChannelConversionGraph:
                             choice[mask][start] = ("via", node)
         total = dp[full].get(source.name)
         if total is None:
-            missing = [n for n in names
-                       if n not in paths.get(source.name, {})]
             raise ChannelConversionError(
                 f"no conversion tree from {source.name} to {names}"
-                + (f" (unreachable: {missing})" if missing else ""))
+                " (no reusable branching channel connects them)")
 
-        # Reconstruct per-target conversion chains.
-        target_paths: dict[str, ConversionPath] = {}
+        # Reconstruct per-target conversion chains.  Each chain is kept as a
+        # list of *segments*: a shared "via"/merge prefix carries the same
+        # segment id across every target below it, so a cached tree can be
+        # re-costed later charging each shared segment exactly once (the
+        # same accounting as the DP total).
+        segments_by_target: dict[str, tuple[tuple[int, tuple[Conversion, ...]],
+                                            ...]] = {}
+        next_segment = itertools.count().__next__
 
-        def build(mask: int, node: str, prefix: list[Conversion],
-                  prefix_cost: float) -> None:
+        def build(mask: int, node: str,
+                  prefix: tuple[tuple[int, tuple[Conversion, ...]], ...]
+                  ) -> None:
             what = choice[mask][node]
             if what[0] == "path":
                 name = what[1]
-                p = paths[node][name]
-                target_paths[name] = ConversionPath(
-                    prefix + p.steps, prefix_cost + p.cost)
+                segments_by_target[name] = prefix + (
+                    (next_segment(), tuple(paths[node][name].steps)),)
             elif what[0] == "merge":
                 __, sub, rest = what
-                build(sub, node, list(prefix), prefix_cost)
-                build(rest, node, list(prefix), prefix_cost)
+                build(sub, node, prefix)
+                build(rest, node, prefix)
             else:  # via
                 mid = what[1]
-                p = paths[node][mid]
-                build(mask, mid, prefix + p.steps, prefix_cost + p.cost)
+                build(mask, mid, prefix + (
+                    (next_segment(), tuple(paths[node][mid].steps)),))
 
-        build(full, source.name, [], 0.0)
+        build(full, source.name, ())
+        if self.caching:
+            self._tree_cache[tree_key] = segments_by_target
+        tree = self._tree_from_segments(source, segments_by_target,
+                                        sim_records, bytes_per_record)
+        assert abs(tree.cost - total) <= 1e-9 + 1e-9 * abs(total)
+        return tree
+
+    def _tree_from_segments(
+        self,
+        source: ChannelDescriptor,
+        segments_by_target: dict[str, tuple],
+        sim_records: float,
+        bytes_per_record: float,
+    ) -> ConversionTree:
+        """Re-cost a (possibly cached) tree structure for the given volume.
+
+        Segments shared between targets (same segment id) are charged once
+        in the tree total, matching the Steiner DP's accounting; per-target
+        path costs sum their own full chains, matching ``cheapest_path``.
+        """
+        target_paths: dict[str, ConversionPath] = {}
+        charged: set[int] = set()
+        total = 0.0
+        for name, segments in segments_by_target.items():
+            steps: list[Conversion] = []
+            cost = 0.0
+            for segment_id, segment_steps in segments:
+                segment_cost = sum(
+                    conv.estimate_cost(sim_records, bytes_per_record)
+                    for conv in segment_steps)
+                steps.extend(segment_steps)
+                cost += segment_cost
+                if segment_id not in charged:
+                    charged.add(segment_id)
+                    total += segment_cost
+            target_paths[name] = ConversionPath(steps, cost)
         return ConversionTree(source, target_paths, total)

@@ -32,6 +32,7 @@ from .executor import ExecutionResult, Executor, Sniffer
 from .mappings import MappingRegistry
 from .operators import EstimationContext, InequalityCondition, Operator
 from .optimizer import Optimizer
+from .plancache import ExecutionPlanCache
 from .plan import RheemPlan
 from .progressive import ProgressiveReport, channel_source_mapping, \
     execute_progressively
@@ -65,7 +66,8 @@ class RheemContext:
         self.platforms = list(platforms if platforms is not None
                               else builtin_platforms())
         self.registry = MappingRegistry()
-        self.graph = ChannelConversionGraph()
+        self.metrics = MetricsRegistry()
+        self.graph = ChannelConversionGraph(metrics=self.metrics)
         for platform in self.platforms:
             for channel in platform.channels():
                 self.graph.register_channel(channel)
@@ -77,13 +79,28 @@ class RheemContext:
         self.config = {"seed": 42}
         self.config.update(config or {})
         self.tracer = tracer if tracer is not None else NO_TRACER
-        self.metrics = MetricsRegistry()
+        self.plan_cache = ExecutionPlanCache(
+            capacity=int(self.config.get("plan_cache_size", 64)),
+            metrics=self.metrics)
+        self.plan_cache.enabled = bool(self.config.get("plan_cache", True))
 
     def enable_tracing(self) -> Tracer:
         """Install (and return) a recording tracer on this context."""
         if not getattr(self.tracer, "enabled", False):
             self.tracer = Tracer()
         return self.tracer
+
+    def publish_cost_params(
+            self, params: dict[str, OperatorCostParams]) -> None:
+        """Install newly learned cost-model parameters (:mod:`repro.learn`).
+
+        Bumps the cost-model version and flushes the execution-plan cache:
+        plans chosen under the old parameters may no longer be optimal, so
+        they must never be replayed.
+        """
+        self.cost_model.params = dict(params)
+        self.cost_model.version += 1
+        self.plan_cache.flush()
 
     # ------------------------------------------------------------- plumbing
     @property
@@ -127,6 +144,35 @@ class RheemContext:
                         metrics=self.metrics)
 
     # ------------------------------------------------------------ execution
+    def optimize(
+        self,
+        plan: RheemPlan,
+        allowed_platforms: set[str] | None = None,
+        objective=None,
+        cacheable: bool = True,
+    ):
+        """Optimize ``plan`` through the execution-plan cache.
+
+        Returns ``(execution plan, cardinality estimates)``.  Cache hits
+        skip enumeration entirely but still run static analysis, so
+        diagnostics and rejection behaviour never depend on cache state;
+        misses populate the cache for the next structurally identical
+        submission.
+        """
+        optimizer = self.optimizer(allowed_platforms, objective=objective)
+        key = self.plan_cache.key_for(
+            plan, optimizer.estimation_ctx, self.cost_model.version,
+            allowed_platforms, optimizer.objective) if cacheable else None
+        cached = self.plan_cache.get(key) if key is not None else None
+        if cached is not None:
+            optimizer._analyze(plan)
+            return cached
+        best, cards = optimizer.pick_best(plan)
+        exec_plan = optimizer._build_execution_plan(plan, best)
+        if key is not None:
+            self.plan_cache.put(key, exec_plan, cards)
+        return exec_plan, cards
+
     def execute(
         self,
         plan: RheemPlan,
@@ -153,9 +199,12 @@ class RheemContext:
                 tolerance=tolerance, sniffers=list(sniffers))
             report.result.diagnostics = list(plan.diagnostics)
             return report.result
-        optimizer = self.optimizer(allowed_platforms, objective=objective)
-        best, cards = optimizer.pick_best(plan)
-        exec_plan = optimizer._build_execution_plan(plan, best)
+        # Sniffers address operators of THIS plan object by id; a cached
+        # execution plan carries the ids of the submission it was built
+        # from, so exploratory runs bypass the cache entirely.
+        exec_plan, cards = self.optimize(
+            plan, allowed_platforms=allowed_platforms, objective=objective,
+            cacheable=not sniffers and fault_injector is None)
         result = self.executor().execute(exec_plan, estimates=cards,
                                          sniffers=list(sniffers),
                                          fault_injector=fault_injector,

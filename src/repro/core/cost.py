@@ -125,6 +125,10 @@ class CostModel:
     ) -> None:
         self.cluster = cluster
         self.params = dict(params or {})
+        #: Bumped whenever new learned parameters are published
+        #: (:meth:`RheemContext.publish_cost_params`); part of the
+        #: execution-plan cache key so stale plans can never be replayed.
+        self.version = 0
 
     def params_for(self, platform: str, op_kind: str) -> OperatorCostParams:
         key = f"{platform}.{op_kind}"

@@ -116,6 +116,10 @@ class Executor:
         self.config = dict(config or {})
         self.tracer = tracer or NO_TRACER
         self.metrics = metrics or MetricsRegistry()
+        #: descriptor name -> (graph version, driver-collection path); loop
+        #: conditions materialize the loop variable every iteration, so the
+        #: path is resolved once per descriptor instead of per check.
+        self._collect_paths: dict[str, tuple[int, ConversionPath]] = {}
 
     # ----------------------------------------------------------- execution
     def execute(
@@ -442,10 +446,17 @@ class Executor:
 
         if channel.descriptor == PY_COLLECTION:
             return channel.payload
-        path = self.graph.cheapest_path(
-            channel.descriptor, PY_COLLECTION,
-            channel.sim_cardinality if channel.actual_count is not None else 0,
-            channel.bytes_per_record)
+        name = channel.descriptor.name
+        cached = self._collect_paths.get(name)
+        if cached is None or cached[0] != self.graph.version:
+            path = self.graph.cheapest_path(
+                channel.descriptor, PY_COLLECTION,
+                channel.sim_cardinality if channel.actual_count is not None
+                else 0,
+                channel.bytes_per_record)
+            self._collect_paths[name] = (self.graph.version, path)
+        else:
+            path = cached[1]
         return path.apply(channel, ctx).payload
 
     # ---------------------------------------------------------- checkpoint

@@ -1,0 +1,154 @@
+"""Structural plan fingerprints for the execution-plan cache.
+
+A fingerprint is a SHA-256 digest over a canonical token tree of the plan:
+operators in deterministic topological order (loop bodies included), their
+wiring expressed as indices into that order, and every semantically relevant
+operator attribute.  Two plans share a fingerprint only if they are
+structurally identical *and* all their parameters — including UDF code —
+agree, so reusing a cached execution plan for a matching fingerprint is
+behaviour-preserving.
+
+UDFs are tokenized from their code objects (bytecode, constants, names,
+defaults, closure cell contents), never from their memory addresses: the
+same ``lambda`` re-created for a resubmitted REST document hashes
+identically.  Anything the tokenizer cannot prove stable — objects whose
+only identity is their address, exotic callables, over-deep structures —
+poisons the fingerprint and :func:`plan_fingerprint` returns ``None``,
+which callers must treat as "do not cache".  Unstable input can therefore
+never produce a false cache hit, only a conservative miss.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import inspect
+from types import CodeType
+from typing import Any
+
+from .operators import LoopOperator, Operator
+from .udf import Udf
+
+#: Operator attributes that do not affect what a plan computes: identity
+#: counters, wiring (captured structurally), back-references, and the
+#: optimizer's per-run scratch (``pinned_bytes`` is written during record
+#: width estimation).
+_SKIP_ATTRS = frozenset(
+    {"id", "inputs", "side_inputs", "downstream", "body", "pinned_bytes"})
+
+#: Recursion guard for pathological self-referential values.
+_MAX_DEPTH = 24
+
+#: Collections longer than this are still tokenized in full (tokens are
+#: hashed, not stored), but the guard keeps adversarial nesting bounded.
+
+
+class _Fingerprinter:
+    """Turns values into stable, primitive-only token trees."""
+
+    def __init__(self) -> None:
+        self.stable = True
+
+    # ------------------------------------------------------------ values
+    def token(self, value: Any, depth: int = 0) -> tuple:
+        if depth > _MAX_DEPTH:
+            self.stable = False
+            return ("too-deep",)
+        if value is None or isinstance(value, (bool, int, float, str, bytes)):
+            return (type(value).__name__, value)
+        if isinstance(value, (list, tuple)):
+            return ("seq", type(value).__name__,
+                    tuple(self.token(v, depth + 1) for v in value))
+        if isinstance(value, (set, frozenset)):
+            try:
+                items = sorted(value)
+            except TypeError:
+                items = sorted(value, key=repr)
+            return ("set", tuple(self.token(v, depth + 1) for v in items))
+        if isinstance(value, dict):
+            pairs = sorted(value.items(), key=lambda kv: repr(kv[0]))
+            return ("dict", tuple(
+                (self.token(k, depth + 1), self.token(v, depth + 1))
+                for k, v in pairs))
+        if isinstance(value, Udf):
+            return ("udf", self.token(value.fn, depth + 1),
+                    value.selectivity, value.cpu_weight, value.name)
+        if isinstance(value, CodeType):
+            return self._code(value, depth)
+        if callable(value):
+            return self._callable(value, depth)
+        self.stable = False
+        return ("unstable", id(value))
+
+    # --------------------------------------------------------- callables
+    def _callable(self, fn: Any, depth: int) -> tuple:
+        if isinstance(fn, functools.partial):
+            return ("partial", self.token(fn.func, depth + 1),
+                    self.token(list(fn.args), depth + 1),
+                    self.token(fn.keywords, depth + 1))
+        if inspect.ismethod(fn):
+            return ("method", self.token(fn.__func__, depth + 1),
+                    self.token(fn.__self__, depth + 1))
+        code = getattr(fn, "__code__", None)
+        if code is None:
+            # Builtins and method descriptors (str.split, operator.add...)
+            # are singletons identified by module + qualified name.
+            module = getattr(fn, "__module__", None)
+            qualname = getattr(fn, "__qualname__", None)
+            if qualname is None:
+                self.stable = False
+                return ("unstable-callable", id(fn))
+            return ("builtin", module, qualname)
+        cells: tuple = ()
+        closure = getattr(fn, "__closure__", None)
+        if closure:
+            try:
+                cells = tuple(self.token(cell.cell_contents, depth + 1)
+                              for cell in closure)
+            except ValueError:  # empty cell
+                self.stable = False
+                cells = ("empty-cell",)
+        return ("fn", self._code(code, depth),
+                self.token(getattr(fn, "__defaults__", None), depth + 1),
+                self.token(getattr(fn, "__kwdefaults__", None), depth + 1),
+                cells)
+
+    def _code(self, code: CodeType, depth: int) -> tuple:
+        consts = tuple(self.token(c, depth + 1) for c in code.co_consts)
+        return ("code", code.co_code, consts, code.co_names,
+                code.co_varnames, code.co_freevars, code.co_argcount)
+
+
+def plan_fingerprint(plan) -> str | None:
+    """Digest of ``plan``'s structure and parameters; ``None`` if unstable.
+
+    The walk covers loop bodies (``include_loop_bodies=True``), so a loop's
+    fingerprint pins its body operators, feedback wiring, and iteration
+    bounds.  ``None`` means some operator attribute could not be tokenized
+    reproducibly — the caller must skip caching for this plan.
+    """
+    ops: list[Operator] = plan.operators(include_loop_bodies=True)
+    index = {op.id: i for i, op in enumerate(ops)}
+    fp = _Fingerprinter()
+    entries = []
+    for op in ops:
+        attrs = tuple(
+            (key, fp.token(op.__dict__[key]))
+            for key in sorted(op.__dict__)
+            if key not in _SKIP_ATTRS)
+        ins = tuple(
+            (slot, index.get(ref.op.id), ref.output_index)
+            if ref is not None else (slot, None, None)
+            for slot, ref in enumerate(op.inputs))
+        sides = tuple((index.get(ref.op.id), ref.output_index)
+                      for ref in op.side_inputs)
+        body: tuple = ()
+        if isinstance(op, LoopOperator):
+            body = (tuple(index[inp.id] for inp in op.body.inputs),
+                    tuple((index[ref.op.id], ref.output_index)
+                          for ref in op.body.outputs))
+        entries.append((type(op).__name__, ins, sides, body, attrs))
+    if not fp.stable:
+        return None
+    tree = (tuple(entries), tuple(index[sink.id] for sink in plan.sinks))
+    return hashlib.sha256(repr(tree).encode()).hexdigest()

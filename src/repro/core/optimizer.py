@@ -24,7 +24,7 @@ at ``iterations x body cost`` plus per-iteration feedback conversion.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..platforms.base import ExecutionOperator
@@ -108,21 +108,85 @@ class LoopDecision:
 Decision = ExecutionAlternative | ChannelSourceDecision | LoopDecision
 
 
-@dataclass
 class PartialPlan:
-    """A costed assignment of decisions to a prefix of the plan."""
+    """A costed assignment of decisions to a prefix of the plan.
 
-    cost: CostEstimate = field(default_factory=CostEstimate.zero)
-    decisions: dict[int, Decision] = field(default_factory=dict)
-    conversions: dict[tuple[int, int, int], ConversionPath] = field(
-        default_factory=dict)
-    open_channels: dict[int, ChannelDescriptor] = field(default_factory=dict)
-    platforms: frozenset[str] = frozenset()
+    Stored as a *delta chain*: each extension records only the decision and
+    conversions it added over ``parent``, so the enumeration's hot loop
+    never copies dictionaries.  The full ``decisions``/``conversions``
+    mappings materialize lazily — in practice only for the handful of
+    winners that reach plan construction.  ``open_channels`` stays a real
+    dict (it is read on every extension) but is shared with the parent
+    whenever an operator neither closes nor opens a channel.
+    """
+
+    __slots__ = ("cost", "gm", "open_channels", "platforms", "parent",
+                 "_decision_delta", "_conversion_delta", "_decisions",
+                 "_conversions", "_signature")
+
+    def __init__(
+        self,
+        cost: CostEstimate | None = None,
+        decisions: dict[int, Decision] | None = None,
+        conversions: dict[tuple[int, int, int], ConversionPath] | None = None,
+        open_channels: dict[int, ChannelDescriptor] | None = None,
+        platforms: frozenset[str] = frozenset(),
+        parent: "PartialPlan | None" = None,
+        decision_delta: tuple[int, Decision] | None = None,
+        conversion_delta: tuple = (),
+    ) -> None:
+        self.cost = cost if cost is not None else CostEstimate.zero()
+        #: Scalar plan-comparison key, computed once per candidate.
+        self.gm = self.cost.geometric_mean
+        self.open_channels = open_channels if open_channels is not None else {}
+        self.platforms = platforms
+        self.parent = parent
+        self._decision_delta = decision_delta
+        self._conversion_delta = conversion_delta
+        # Chain roots (and explicitly-constructed plans) are materialized.
+        self._decisions = (dict(decisions) if decisions is not None
+                           else {} if parent is None else None)
+        self._conversions = (dict(conversions) if conversions is not None
+                             else {} if parent is None else None)
+        self._signature: tuple | None = None
+
+    def _materialize(self, attr: str) -> dict:
+        chain: list[PartialPlan] = []
+        node: PartialPlan | None = self
+        while getattr(node, attr) is None:
+            chain.append(node)  # type: ignore[arg-type]
+            node = node.parent  # type: ignore[union-attr]
+        merged = dict(getattr(node, attr))
+        for part in reversed(chain):
+            if attr == "_decisions":
+                if part._decision_delta is not None:
+                    merged[part._decision_delta[0]] = part._decision_delta[1]
+            else:
+                for key, path in part._conversion_delta:
+                    merged[key] = path
+        setattr(self, attr, merged)
+        return merged
+
+    @property
+    def decisions(self) -> dict[int, Decision]:
+        """Operator id -> chosen decision (materialized lazily)."""
+        return self._decisions if self._decisions is not None \
+            else self._materialize("_decisions")
+
+    @property
+    def conversions(self) -> dict[tuple[int, int, int], ConversionPath]:
+        """(producer, consumer, slot) -> conversion path (lazy)."""
+        return self._conversions if self._conversions is not None \
+            else self._materialize("_conversions")
 
     def signature(self) -> tuple:
-        open_sig = tuple(sorted(
-            (op_id, desc.name) for op_id, desc in self.open_channels.items()))
-        return (open_sig, self.platforms)
+        """The lossless-pruning key: (open boundary channels, platforms)."""
+        if self._signature is None:
+            open_sig = tuple(sorted(
+                (op_id, desc.name)
+                for op_id, desc in self.open_channels.items()))
+            self._signature = (open_sig, self.platforms)
+        return self._signature
 
 
 class Optimizer:
@@ -383,6 +447,9 @@ class Optimizer:
         remaining = dict(consumer_counts)
         frontier: list[PartialPlan] = [PartialPlan()]
         self.last_enumeration_size = 1
+        # Signature tuples recur across every operator step; interning them
+        # makes the dict probes below mostly pointer comparisons.
+        intern: dict[tuple, tuple] = {}
 
         for op in ops:
             options = alternatives(op)
@@ -398,28 +465,28 @@ class Optimizer:
             keep_open = (consumer_counts.get(op.id, 0) > 0
                          or op.id in phantom_open)
 
+            # With pruning on, dominated candidates are dropped before a
+            # PartialPlan is even constructed (_apply_decision consults
+            # best_by_key); only per-signature winners ever materialize.
+            best_by_key: dict[tuple, PartialPlan] | None = \
+                {} if self.prune else None
             candidates: list[PartialPlan] = []
             for partial in frontier:
                 for option in options:
                     extended = self._apply_decision(
                         op, option, partial, cards, bprs, to_close,
-                        keep_open, include_startup)
-                    if extended is not None:
+                        keep_open, include_startup, best_by_key, intern)
+                    if extended is not None and best_by_key is None:
                         candidates.append(extended)
-            if not candidates:
-                raise OptimizationError(f"no executable plan at operator {op}")
-            self.stats["plans_enumerated"] += len(candidates)
-            if self.prune:
-                best_by_key: dict[tuple, PartialPlan] = {}
-                for cand in candidates:
-                    key = cand.signature()
-                    incumbent = best_by_key.get(key)
-                    if (incumbent is None or cand.cost.geometric_mean
-                            < incumbent.cost.geometric_mean):
-                        best_by_key[key] = cand
+            if best_by_key is not None:
+                if not best_by_key:
+                    raise OptimizationError(
+                        f"no executable plan at operator {op}")
                 frontier = list(best_by_key.values())
-                self.stats["plans_pruned"] += len(candidates) - len(frontier)
             else:
+                if not candidates:
+                    raise OptimizationError(
+                        f"no executable plan at operator {op}")
                 frontier = candidates
             self.last_enumeration_size += len(frontier)
         return frontier
@@ -443,11 +510,20 @@ class Optimizer:
         to_close: set[int],
         keep_open: bool,
         include_startup: bool,
+        best_by_key: dict[tuple, PartialPlan] | None = None,
+        intern: dict[tuple, tuple] | None = None,
     ) -> PartialPlan | None:
+        """Extend ``partial`` with ``option`` for ``op``.
+
+        When ``best_by_key`` is given (pruning enabled), the candidate is
+        checked against the per-signature incumbent *before* any
+        ``PartialPlan`` is built; dominated candidates cost only a tuple
+        sort.  Survivors are registered in ``best_by_key`` and returned.
+        """
         cost = partial.cost
-        conversions = dict(partial.conversions)
         platforms = partial.platforms
-        open_channels = dict(partial.open_channels)
+        open_channels = partial.open_channels
+        conv_delta: list[tuple[tuple[int, int, int], ConversionPath]] = []
 
         if isinstance(option, ChannelSourceDecision):
             out_desc = option.descriptor
@@ -502,7 +578,7 @@ class Optimizer:
                 if path is None:
                     return None
                 if path.steps:
-                    conversions[(ref.op.id, op.id, slot)] = path
+                    conv_delta.append(((ref.op.id, op.id, slot), path))
                     cost = cost.plus(CostEstimate.fixed(path.cost))
 
             # Broadcast side inputs.
@@ -516,7 +592,7 @@ class Optimizer:
                 if path is None:
                     return None
                 if path.steps:
-                    conversions[(ref.op.id, op.id, -(slot + 1))] = path
+                    conv_delta.append(((ref.op.id, op.id, -(slot + 1)), path))
                     cost = cost.plus(CostEstimate.fixed(path.cost))
 
             cost = cost.plus(option_cost)
@@ -538,19 +614,52 @@ class Optimizer:
                     profile.stage_overhead_s * fraction
                     * self.objective.weight(option.platform)))
 
-        new_decisions = dict(partial.decisions)
-        new_decisions[op.id] = option
-        for pid in to_close:
-            open_channels.pop(pid, None)
-        if keep_open:
-            open_channels[op.id] = out_desc
+        # Channel bookkeeping — copy-on-write: share the parent's dict when
+        # this operator neither closes nor opens a boundary channel.
+        if to_close or keep_open:
+            open_channels = dict(open_channels)
+            for pid in to_close:
+                open_channels.pop(pid, None)
+            if keep_open:
+                open_channels[op.id] = out_desc
+
+        self.stats["plans_enumerated"] += 1
+
+        if best_by_key is not None:
+            open_sig = tuple(sorted(
+                (op_id, desc.name)
+                for op_id, desc in open_channels.items()))
+            sig = (open_sig, platforms)
+            if intern is not None:
+                sig = intern.setdefault(sig, sig)
+            incumbent = best_by_key.get(sig)
+            gm = cost.geometric_mean
+            # First-seen wins ties: replace only on a strictly lower cost,
+            # so cache-on/off runs break ties identically (determinism).
+            if incumbent is not None and incumbent.gm <= gm:
+                self.stats["plans_pruned"] += 1
+                return None
+            extended = PartialPlan(
+                cost=cost,
+                open_channels=open_channels,
+                platforms=platforms,
+                parent=partial,
+                decision_delta=(op.id, option),
+                conversion_delta=tuple(conv_delta),
+            )
+            extended._signature = sig
+            if incumbent is not None:
+                self.stats["plans_pruned"] += 1
+            best_by_key[sig] = extended
+            return extended
 
         return PartialPlan(
             cost=cost,
-            decisions=new_decisions,
-            conversions=conversions,
             open_channels=open_channels,
             platforms=platforms,
+            parent=partial,
+            decision_delta=(op.id, option),
+            conversion_delta=tuple(conv_delta),
         )
 
     def _conversion(self, have: ChannelDescriptor, want: ChannelDescriptor,

@@ -114,10 +114,15 @@ def execute_progressively(
             state = paused.state
             replans += 1
             executor.metrics.counter("progressive.replans").inc()
-            with executor.tracer.span("progressive.replan", round=replans):
+            with executor.tracer.span("progressive.replan",
+                                      round=replans) as span:
                 for logical_id, actual in state.monitor.actuals.items():
                     overrides[logical_id] = CardinalityEstimate.exact(actual)
                 plan = _residual_plan(plan, state)
+                # Re-enumeration reuses the conversion memo cache; the
+                # running totals make that visible per replan round.
+                for name, value in executor.graph.cache_stats.items():
+                    span.set(f"conversion_cache.{name}", value)
             tracker = state.tracker
             started = state.started_platforms
 

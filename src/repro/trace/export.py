@@ -165,6 +165,16 @@ def _render_span(span: Span, depth: int, lines: list[str]) -> None:
         _render_span(child, depth + 1, lines)
 
 
+#: Hit/miss counter pairs rendered as derived "cache hit rates" lines.
+_CACHE_RATE_SOURCES = (
+    ("conversion paths", "conversion_cache.path_hits",
+     "conversion_cache.path_misses"),
+    ("conversion trees", "conversion_cache.tree_hits",
+     "conversion_cache.tree_misses"),
+    ("execution plans", "plan_cache.hits", "plan_cache.misses"),
+)
+
+
 def profile_summary(tracer: Tracer | None = None,
                     metrics: MetricsRegistry | None = None,
                     spans: Iterable[Span] | None = None) -> str:
@@ -182,6 +192,16 @@ def profile_summary(tracer: Tracer | None = None,
             lines.append("counters:")
             for name, value in snapshot["counters"].items():
                 lines.append(f"  {name:<40} {value:12g}")
+            rates = []
+            for label, hit_key, miss_key in _CACHE_RATE_SOURCES:
+                hits = snapshot["counters"].get(hit_key, 0)
+                total = hits + snapshot["counters"].get(miss_key, 0)
+                if total:
+                    rates.append(f"  {label:<40} {hits / total:11.1%} "
+                                 f"({hits:g}/{total:g})")
+            if rates:
+                lines.append("cache hit rates:")
+                lines.extend(rates)
         if snapshot["gauges"]:
             lines.append("gauges:")
             for name, value in snapshot["gauges"].items():

@@ -152,3 +152,85 @@ class TestMulticast:
         independent = sum(graph.cheapest_path(A, t, 10_000, 100).cost
                           for t in targets)
         assert tree.cost <= independent + 1e-9
+
+
+class TestConversionMemoCache:
+    def test_repeat_lookup_hits_without_a_new_dijkstra(self):
+        graph = _graph([(A, C, 1000, 0), (C, B, 1000, 0)])
+        first = graph.cheapest_path(A, B, 1_000_000, 100)
+        second = graph.cheapest_path(A, B, 1_000_000, 100)
+        assert [s.name for s in first.steps] == [s.name for s in second.steps]
+        assert graph.cache_stats["path_hits"] == 1
+        assert graph.cache_stats["dijkstra_runs"] == 1
+
+    def test_one_dijkstra_row_serves_all_targets(self):
+        graph = _graph([(A, B, 100, 0), (A, C, 100, 0), (A, D, 100, 0)])
+        graph.cheapest_path(A, B, 1000, 100)
+        graph.cheapest_path(A, C, 1000, 100)
+        graph.cheapest_path(A, D, 1000, 100)
+        assert graph.cache_stats["dijkstra_runs"] == 1
+        assert graph.cache_stats["path_hits"] == 2
+
+    def test_costs_are_exact_not_banded(self):
+        # Volumes in the same quantization band share the cached path
+        # STRUCTURE, but the returned cost is always recomputed exactly.
+        graph = _graph([(A, B, 10, 1.5)])
+        lo = graph.cheapest_path(A, B, 1_000, 100)
+        hi = graph.cheapest_path(A, B, 1_040, 100)  # same quarter-octave
+        assert graph.cache_stats["path_hits"] == 1
+        assert lo.cost == pytest.approx(1.5 + 1_000 * 100 / 1e6 / 10)
+        assert hi.cost == pytest.approx(1.5 + 1_040 * 100 / 1e6 / 10)
+
+    def test_register_conversion_invalidates_cached_paths(self):
+        graph = _graph([(A, C, 10, 0), (C, B, 10, 0)])
+        before = graph.cheapest_path(A, B, 1_000_000, 100)
+        assert len(before.steps) == 2
+        # A much faster direct conversion appears (new platform plugged in):
+        # the memoized detour must NOT survive.
+        graph.register_conversion(_conv(A, B, 1_000_000))
+        after = graph.cheapest_path(A, B, 1_000_000, 100)
+        assert [s.target.name for s in after.steps] == ["t.b"]
+        assert after.cost < before.cost
+        assert graph.cache_stats["invalidations"] == 1
+
+    def test_register_channel_of_known_descriptor_keeps_cache(self):
+        graph = _graph([(A, B, 10, 0)])
+        graph.cheapest_path(A, B, 1000, 100)
+        graph.register_channel(A)  # re-registration, no structural change
+        graph.cheapest_path(A, B, 1000, 100)
+        assert graph.cache_stats["path_hits"] == 1
+        assert graph.cache_stats["invalidations"] == 0
+
+    def test_caching_off_still_correct(self):
+        graph = _graph([(A, C, 1000, 0), (C, B, 1000, 0), (A, B, 1, 0)])
+        graph.caching = False
+        path = graph.cheapest_path(A, B, 1_000_000, 100)
+        assert [s.target.name for s in path.steps] == ["t.c", "t.b"]
+        assert graph.cache_stats["path_hits"] == 0
+
+    def test_tree_cache_hit_recosts_exactly(self):
+        graph = _graph([(A, C, 1, 0), (C, B, 1000, 0), (C, D, 1000, 0)])
+        first = graph.multicast_tree(A, [B, D], 1_000_000, 100)
+        second = graph.multicast_tree(A, [B, D], 1_010_000, 100)
+        assert graph.cache_stats["tree_hits"] == 1
+        assert first.cost == pytest.approx(100 / 1 + 0.1 + 0.1)
+        assert second.cost == pytest.approx(101 / 1 + 0.101 + 0.101)
+
+
+class TestMulticastReachability:
+    def test_disconnected_descriptor_is_pruned_from_the_dp(self):
+        # An isolated descriptor (registered, no edges) must not enlarge
+        # the Steiner DP or break tree construction.
+        graph = _graph([(A, C, 10, 0), (C, B, 1000, 0), (C, D, 1000, 0)])
+        island = ChannelDescriptor("t.island", "t", True)
+        graph.register_channel(island)
+        tree = graph.multicast_tree(A, [B, D], 1_000_000, 100)
+        assert set(tree.paths) == {"t.b", "t.d"}
+        assert "t.island" not in graph.reachable_from("t.a")
+
+    def test_unreachable_target_error_names_the_island(self):
+        graph = _graph([(A, B, 10, 0)])
+        island = ChannelDescriptor("t.island", "t", True)
+        graph.register_channel(island)
+        with pytest.raises(ChannelConversionError, match="island"):
+            graph.multicast_tree(A, [B, island], 1000, 100)
