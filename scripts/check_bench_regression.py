@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Compare fresh benchmark numbers against the committed baselines.
+
+The CI ``benchmarks`` job re-runs ``scripts/bench_optimizer_cache.py`` and
+``scripts/bench_concurrency.py`` into a scratch directory, then calls this
+script to compare the fresh reports against the ``BENCH_*.json`` files
+committed at the repository root.  Only *ratio* metrics are gated — warm-
+cache speedup and concurrency throughput scaling — because absolute
+timings vary with the runner hardware while ratios are self-normalizing;
+absolute numbers are printed for context.
+
+A metric regresses when ``fresh < baseline * (1 - tolerance)``; the
+tolerance defaults to 0.25 (25%) and can be overridden via the
+``BENCH_REGRESSION_TOLERANCE`` environment variable or ``--tolerance``.
+Missing fresh files fail; missing individual metrics fail; higher-than-
+baseline fresh numbers always pass (improvements are not regressions).
+
+Exit status: 0 when every gated metric holds (including when comparing
+the committed baselines against themselves), 1 on any regression, 2 on
+malformed input.
+
+Usage::
+
+    python scripts/check_bench_regression.py --fresh /tmp/bench \
+        [--baseline .] [--tolerance 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+#: (file, human name, path of keys into the report) — all higher-is-better.
+GATED_METRICS: list[tuple[str, str, tuple[str, ...]]] = [
+    ("BENCH_optimizer_latency.json",
+     "warm-cache speedup (tpch_q5_polystore)",
+     ("workloads", "tpch_q5_polystore", "warm_speedup")),
+    ("BENCH_optimizer_latency.json",
+     "warm-cache speedup (wide_merge_topology)",
+     ("workloads", "wide_merge_topology", "warm_speedup")),
+    ("BENCH_concurrency.json",
+     "concurrency throughput speedup (4 workers vs 1)",
+     ("speedup_4v1",)),
+]
+
+#: Printed for context, never gated (absolute, hardware-dependent).
+CONTEXT_METRICS: list[tuple[str, str, tuple[str, ...]]] = [
+    ("BENCH_concurrency.json", "throughput at 4 workers (jobs/s)",
+     ("configs", "4", "throughput_jobs_per_s")),
+    ("BENCH_concurrency.json", "p95 latency at 4 workers (s)",
+     ("configs", "4", "latency_p95_s")),
+]
+
+
+def _load(directory: Path, name: str) -> dict:
+    path = directory / name
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        print(f"error: missing benchmark report {path}", file=sys.stderr)
+        raise
+    except json.JSONDecodeError as exc:
+        print(f"error: malformed benchmark report {path}: {exc}",
+              file=sys.stderr)
+        raise
+
+
+def _extract(report: dict, keys: tuple[str, ...]) -> float | None:
+    node = report
+    for key in keys:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True, type=Path,
+                        help="directory holding the freshly produced "
+                             "BENCH_*.json reports")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="directory holding the committed baselines "
+                             "(default: the repository root)")
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get("BENCH_REGRESSION_TOLERANCE", "0.25")),
+        help="allowed fractional regression (default 0.25, i.e. fail only "
+             "when a metric drops by more than 25%%; env: "
+             "BENCH_REGRESSION_TOLERANCE)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        print(f"error: tolerance must be in [0, 1), got {args.tolerance}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        fresh_reports = {name: _load(args.fresh, name)
+                         for name, __, ___ in GATED_METRICS}
+        baseline_reports = {name: _load(args.baseline, name)
+                            for name, __, ___ in GATED_METRICS}
+    except (FileNotFoundError, json.JSONDecodeError):
+        return 2
+
+    failures = 0
+    for name, label, keys in GATED_METRICS:
+        fresh = _extract(fresh_reports[name], keys)
+        baseline = _extract(baseline_reports[name], keys)
+        if fresh is None or baseline is None:
+            print(f"FAIL  {label}: metric missing "
+                  f"(fresh={fresh}, baseline={baseline})")
+            failures += 1
+            continue
+        floor = baseline * (1.0 - args.tolerance)
+        verdict = "ok  " if fresh >= floor else "FAIL"
+        if fresh < floor:
+            failures += 1
+        print(f"{verdict}  {label}: fresh {fresh:.2f} vs baseline "
+              f"{baseline:.2f} (floor {floor:.2f})")
+
+    for name, label, keys in CONTEXT_METRICS:
+        fresh = _extract(fresh_reports.get(name, {}), keys)
+        baseline = _extract(baseline_reports.get(name, {}), keys)
+        if fresh is not None and baseline is not None:
+            print(f"info  {label}: fresh {fresh:.2f} vs baseline "
+                  f"{baseline:.2f} (not gated)")
+
+    if failures:
+        print(f"{failures} benchmark metric(s) regressed beyond "
+              f"{args.tolerance:.0%} tolerance")
+        return 1
+    print(f"all gated benchmark metrics within {args.tolerance:.0%} "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Lint gate: ruff (style) + mypy (types on repro.analysis/repro.core) +
-# the repo's own plan linter over the shipped examples.
+# Lint gate: ruff (style, incl. scripts/) + mypy (strict types on
+# repro.analysis/repro.trace/repro.core/repro.server) + the repo's own
+# plan linter over the shipped examples.
 #
 # ruff and mypy are optional dev tools (`pip install -e .[lint]`); when one
 # is missing, its step is SKIPPED with a notice instead of failing, so the
@@ -16,13 +17,14 @@ failures=0
 
 if command -v ruff >/dev/null 2>&1; then
     echo "==> ruff check"
-    ruff check src tests examples || failures=$((failures + 1))
+    ruff check src tests examples scripts || failures=$((failures + 1))
 else
     echo "==> ruff not installed; SKIPPED (pip install -e .[lint])"
 fi
 
 if command -v mypy >/dev/null 2>&1; then
-    echo "==> mypy (strict: repro.analysis, repro.trace, repro.core)"
+    echo "==> mypy (strict: repro.analysis, repro.trace, repro.core," \
+         "repro.server)"
     mypy || failures=$((failures + 1))
 else
     echo "==> mypy not installed; SKIPPED (pip install -e .[lint])"

@@ -4,7 +4,8 @@ Usage::
 
     python -m repro run SCRIPT.latin [--profile] [--abstracts PCT]
     python -m repro trace SCRIPT.latin [--out job.trace.json]
-    python -m repro serve [--port 8642]
+    python -m repro serve [--port 8642] [--jobs N] [--queue-size N]
+                          [--deadline SECONDS]
     python -m repro lint SCRIPT.{py,latin}
 
 ``run`` executes a RheemLatin script against a fresh context (optionally
@@ -14,7 +15,9 @@ appends the wall-clock span tree, metrics and simulated stage timelines.
 ``trace`` runs the script with tracing enabled and writes a Chrome
 trace-event file (open it in ``chrome://tracing`` or Perfetto).
 ``serve`` exposes the REST interface (``POST /jobs`` with a JSON job
-document) via wsgiref.  ``lint`` executes a Python or RheemLatin script
+document) through the concurrent job server — ``--jobs`` worker threads,
+a bounded admission queue (429 on overflow), optional per-job deadlines —
+via a threading wsgiref server; Ctrl-C drains the queue before exiting.  ``lint`` executes a Python or RheemLatin script
 under the static analyzer and prints every diagnostic raised against the
 plans it builds; the exit status is 1 when any error-severity diagnostic
 fires, else 0.
@@ -86,14 +89,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from wsgiref.simple_server import make_server
+    import socketserver
+    from wsgiref.simple_server import WSGIServer, make_server
 
-    from .api import RheemService, wsgi_app
+    from .server import JobServer, make_wsgi_app
 
-    service = RheemService(_build_context(args))
-    server = make_server("127.0.0.1", args.port, wsgi_app(service))
-    print(f"rheem REST service on http://127.0.0.1:{args.port}/jobs")
-    server.serve_forever()
+    class ThreadingWSGIServer(socketserver.ThreadingMixIn, WSGIServer):
+        """Concurrent HTTP handling feeding the bounded job queue."""
+
+        daemon_threads = True
+
+    job_server = JobServer(_build_context(args), workers=args.jobs,
+                           queue_size=args.queue_size,
+                           default_deadline_s=args.deadline)
+    httpd = make_server("127.0.0.1", args.port, make_wsgi_app(job_server),
+                        server_class=ThreadingWSGIServer)
+    print(f"rheem job server on http://127.0.0.1:{args.port}/jobs "
+          f"({args.jobs} worker(s), queue {args.queue_size}, "
+          f"deadline {args.deadline or 'none'})")
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("draining job queue ...")
+    finally:
+        job_server.shutdown(drain=True)
+        httpd.server_close()
     return 0
 
 
@@ -157,6 +177,15 @@ def main(argv: list[str] | None = None) -> int:
                        help="trace file path (default: SCRIPT.trace.json)")
     serve = sub.add_parser("serve", help="start the REST service")
     serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument("--jobs", type=int, default=4,
+                       help="worker threads in the job pool (default 4)")
+    serve.add_argument("--queue-size", type=int, default=16,
+                       dest="queue_size",
+                       help="jobs allowed to wait beyond the running ones "
+                            "before admission control rejects (default 16)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="default per-job deadline in seconds "
+                            "(measured from admission; default: none)")
     lint = sub.add_parser(
         "lint", help="statically analyze the plans a script builds")
     lint.add_argument("script", help="path to a .py or .latin script")

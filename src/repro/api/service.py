@@ -12,7 +12,7 @@ Two layers:
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import Any, Callable
 
 from ..core.context import RheemContext
 from ..core.objectives import monetary, price_of
@@ -32,7 +32,8 @@ class RheemService:
         self.ctx = ctx or RheemContext()
         self.env = dict(env or {})
 
-    def submit(self, document: dict) -> dict:
+    def submit(self, document: dict, tracer: Tracer | None = None,
+               cancel_check: Callable[[], None] | None = None) -> dict:
         """Run one job document; always returns a JSON-ready dict.
 
         Response shape: ``{"status": "ok", "output": [...], "runtime": s,
@@ -42,14 +43,20 @@ class RheemService:
         responses carry a ``diagnostics`` list too when the static analyzer
         rejected the plan.
 
-        Each job runs under its own per-request tracer (swapped onto the
-        shared context for the duration of the call), so concurrent or
-        sequential submissions never mix spans; the metrics registry is
-        shared across the service's lifetime.
+        Each job runs under its own per-request tracer, *passed through*
+        the optimizer and executor rather than installed on the shared
+        context — the context is never mutated, so concurrent submissions
+        (the job server's worker pool) can share it without mixing spans,
+        and a job that fails anywhere (even while the document is still
+        being parsed) cannot leak state onto the context.  The metrics
+        registry is shared across the service's lifetime.
+
+        ``cancel_check`` is forwarded to the executor, which calls it at
+        every stage boundary; it may raise
+        :class:`~repro.core.executor.JobCancelled`, which propagates to
+        the caller (the job server maps it to the ``timeout`` state).
         """
-        tracer = Tracer()
-        saved_tracer = self.ctx.tracer
-        self.ctx.tracer = tracer
+        tracer = tracer if tracer is not None else Tracer()
         try:
             quanta = build_quanta(self.ctx, document, self.env)
             execution = document.get("execution", {})
@@ -62,7 +69,8 @@ class RheemService:
                 kwargs["objective"] = monetary()
             if execution.get("progressive"):
                 kwargs["progressive"] = True
-            result = quanta.execute(**kwargs)
+            result = quanta.execute(tracer=tracer, cancel_check=cancel_check,
+                                    **kwargs)
         except (PlanDocumentError, OptimizationError, PlanValidationError,
                 KeyError) as exc:
             response = {"status": "error", "kind": type(exc).__name__,
@@ -74,8 +82,6 @@ class RheemService:
         except SimulatedOutOfMemory as exc:
             return {"status": "error", "kind": "OutOfMemory",
                     "error": str(exc)}
-        finally:
-            self.ctx.tracer = saved_tracer
         return {
             "status": "ok",
             "output": _jsonable(result.output),

@@ -30,6 +30,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, TYPE_CHECKING
 
@@ -237,6 +238,13 @@ CACHE_STAT_NAMES = ("path_hits", "path_misses", "tree_hits", "tree_misses",
 class ChannelConversionGraph:
     """Registry of channels and conversions with memoized path/tree search.
 
+    The graph (edges + memo tables) is shared read-mostly across the job
+    server's worker threads; one re-entrant lock serializes registration,
+    invalidation and memo-table fills.  In the documented lock order
+    (``DESIGN.md``) this lock sits above the metrics lock (``_stat``
+    mirrors counters while holding it) and must never be held while
+    calling into the plan cache or the server's job table.
+
     Args:
         metrics: Optional shared registry mirroring the graph's
             ``conversion_cache.*`` hit/miss counters (see
@@ -262,38 +270,45 @@ class ChannelConversionGraph:
         self._reachable: dict[str, frozenset[str]] = {}
         # (source, targets, rec_band, bpr_band) -> {target: tuple[Conversion]}
         self._tree_cache: dict[tuple, dict[str, tuple[Conversion, ...]]] = {}
+        #: Serializes registration and memo-table mutation (see class doc).
+        self._lock = threading.RLock()
         self.register_channel(HDFS_FILE)
         self.register_channel(LOCAL_FILE)
 
     # ------------------------------------------------------------- registry
     def register_channel(self, desc: ChannelDescriptor) -> None:
-        existing = self._descriptors.get(desc.name)
-        if existing is not None and existing != desc:
-            raise ValueError(f"conflicting descriptor registration for {desc.name}")
-        if existing is None:
-            self._invalidate()
-        self._descriptors[desc.name] = desc
-        self._edges.setdefault(desc.name, [])
+        with self._lock:
+            existing = self._descriptors.get(desc.name)
+            if existing is not None and existing != desc:
+                raise ValueError(
+                    f"conflicting descriptor registration for {desc.name}")
+            if existing is None:
+                self._invalidate()
+            self._descriptors[desc.name] = desc
+            self._edges.setdefault(desc.name, [])
 
     def register_conversion(self, conv: Conversion) -> None:
-        self.register_channel(conv.source)
-        self.register_channel(conv.target)
-        self._edges[conv.source.name].append(conv)
-        self._invalidate()
+        with self._lock:
+            self.register_channel(conv.source)
+            self.register_channel(conv.target)
+            self._edges[conv.source.name].append(conv)
+            self._invalidate()
 
     def _invalidate(self) -> None:
         """Drop every memoized search result (the graph changed)."""
-        self.version += 1
-        if self._path_cache or self._solved_rows or self._tree_cache \
-                or self._reachable:
-            self._stat("invalidations")
-        self._path_cache.clear()
-        self._solved_rows.clear()
-        self._reachable.clear()
-        self._tree_cache.clear()
+        with self._lock:
+            self.version += 1
+            if self._path_cache or self._solved_rows or self._tree_cache \
+                    or self._reachable:
+                self._stat("invalidations")
+            self._path_cache.clear()
+            self._solved_rows.clear()
+            self._reachable.clear()
+            self._tree_cache.clear()
 
     def _stat(self, name: str) -> None:
-        self.cache_stats[name] += 1
+        with self._lock:
+            self.cache_stats[name] += 1
         if self.metrics is not None:
             self.metrics.counter(f"conversion_cache.{name}").inc()
 
@@ -349,18 +364,21 @@ class ChannelConversionGraph:
             return row.get(target.name)
         band = (volume_band(sim_records), volume_band(bytes_per_record))
         key = (source.name, target.name, *band)
-        steps = self._path_cache.get(key, _UNSOLVED)
-        if steps is not _UNSOLVED:
-            self._stat("path_hits")
-            return steps
-        self._stat("path_misses")
-        row_key = (source.name, *band)
-        if row_key not in self._solved_rows:
-            row = self._solve_row(source.name, sim_records, bytes_per_record)
-            for name in self._descriptors:
-                self._path_cache[(source.name, name, *band)] = row.get(name)
-            self._solved_rows.add(row_key)
-        return self._path_cache[key]
+        with self._lock:
+            steps = self._path_cache.get(key, _UNSOLVED)
+            if steps is not _UNSOLVED:
+                self._stat("path_hits")
+                return steps
+            self._stat("path_misses")
+            row_key = (source.name, *band)
+            if row_key not in self._solved_rows:
+                row = self._solve_row(source.name, sim_records,
+                                      bytes_per_record)
+                for name in self._descriptors:
+                    self._path_cache[(source.name, name, *band)] = \
+                        row.get(name)
+                self._solved_rows.add(row_key)
+            return self._path_cache[key]
 
     def _solve_row(self, source_name: str, sim_records: float,
                    bytes_per_record: float) -> dict[str, tuple[Conversion, ...]]:
@@ -396,20 +414,21 @@ class ChannelConversionGraph:
 
     def reachable_from(self, name: str) -> frozenset[str]:
         """Descriptor names reachable from ``name`` (BFS, memoized)."""
-        cached = self._reachable.get(name) if self.caching else None
-        if cached is None:
-            seen = {name}
-            frontier = [name]
-            while frontier:
-                node = frontier.pop()
-                for conv in self._edges.get(node, []):
-                    if conv.target.name not in seen:
-                        seen.add(conv.target.name)
-                        frontier.append(conv.target.name)
-            cached = frozenset(seen)
-            if self.caching:
-                self._reachable[name] = cached
-        return cached
+        with self._lock:
+            cached = self._reachable.get(name) if self.caching else None
+            if cached is None:
+                seen = {name}
+                frontier = [name]
+                while frontier:
+                    node = frontier.pop()
+                    for conv in self._edges.get(node, []):
+                        if conv.target.name not in seen:
+                            seen.add(conv.target.name)
+                            frontier.append(conv.target.name)
+                cached = frozenset(seen)
+                if self.caching:
+                    self._reachable[name] = cached
+            return cached
 
     def multicast_tree(
         self,
@@ -447,6 +466,21 @@ class ChannelConversionGraph:
                 f"no conversion tree from {source.name} to {names}"
                 f" (unreachable: {missing})")
 
+        with self._lock:
+            return self._multicast_tree_locked(
+                source, unique, names, reachable, sim_records,
+                bytes_per_record)
+
+    def _multicast_tree_locked(
+        self,
+        source: ChannelDescriptor,
+        unique: dict[str, ChannelDescriptor],
+        names: list[str],
+        reachable: frozenset[str],
+        sim_records: float,
+        bytes_per_record: float,
+    ) -> ConversionTree:
+        """The Steiner solve, run under the graph lock (memo-table fills)."""
         band = (volume_band(sim_records), volume_band(bytes_per_record))
         tree_key = (source.name, tuple(names), *band)
         if self.caching:

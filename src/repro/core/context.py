@@ -18,6 +18,7 @@ operators (:mod:`repro.core.operators`) or through the fluent API::
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterable, Sequence
 
 from ..platforms import builtin_platforms
@@ -83,6 +84,9 @@ class RheemContext:
             capacity=int(self.config.get("plan_cache_size", 64)),
             metrics=self.metrics)
         self.plan_cache.enabled = bool(self.config.get("plan_cache", True))
+        # Serializes cost-model publication (atomic swap + cache flush);
+        # sits above the plan-cache lock in the documented lock order.
+        self._publish_lock = threading.Lock()
 
     def enable_tracing(self) -> Tracer:
         """Install (and return) a recording tracer on this context."""
@@ -96,11 +100,15 @@ class RheemContext:
 
         Bumps the cost-model version and flushes the execution-plan cache:
         plans chosen under the old parameters may no longer be optimal, so
-        they must never be replayed.
+        they must never be replayed.  Publication is an atomic dict swap
+        under a lock: an in-flight optimization sees either the old or the
+        new parameter set, never a half-written one, and its cache entry is
+        keyed by the version it actually used.
         """
-        self.cost_model.params = dict(params)
-        self.cost_model.version += 1
-        self.plan_cache.flush()
+        with self._publish_lock:
+            self.cost_model.params = dict(params)
+            self.cost_model.version += 1
+            self.plan_cache.flush()
 
     # ------------------------------------------------------------- plumbing
     @property
@@ -124,8 +132,14 @@ class RheemContext:
         allowed_platforms: set[str] | None = None,
         overrides: dict[int, CardinalityEstimate] | None = None,
         objective=None,
+        tracer: Tracer | None = None,
     ) -> Optimizer:
-        """A cross-platform optimizer bound to this context's registries."""
+        """A cross-platform optimizer bound to this context's registries.
+
+        ``tracer`` overrides the context's tracer for this optimizer only
+        (per-job tracing under the concurrent job server: spans land in the
+        job's tree, never on the shared context).
+        """
         return Optimizer(
             registry=self.registry,
             conversion_graph=self.graph,
@@ -133,15 +147,22 @@ class RheemContext:
             estimation_ctx=self.estimation_context(overrides),
             allowed_platforms=allowed_platforms,
             objective=objective,
-            tracer=self.tracer,
+            tracer=tracer if tracer is not None else self.tracer,
             metrics=self.metrics,
         )
 
-    def executor(self) -> Executor:
-        """An executor bound to this context's cluster and engines."""
+    def executor(self, tracer: Tracer | None = None,
+                 cancel_check: Callable[[], None] | None = None) -> Executor:
+        """An executor bound to this context's cluster and engines.
+
+        ``tracer`` overrides the context's tracer for this executor only;
+        ``cancel_check`` is called at every stage boundary (cooperative
+        cancellation — see :class:`~repro.core.executor.JobCancelled`).
+        """
         return Executor(self.cluster, self.graph, pgres=self.pgres,
-                        config=self.config, tracer=self.tracer,
-                        metrics=self.metrics)
+                        config=self.config,
+                        tracer=tracer if tracer is not None else self.tracer,
+                        metrics=self.metrics, cancel_check=cancel_check)
 
     # ------------------------------------------------------------ execution
     def optimize(
@@ -150,6 +171,7 @@ class RheemContext:
         allowed_platforms: set[str] | None = None,
         objective=None,
         cacheable: bool = True,
+        tracer: Tracer | None = None,
     ):
         """Optimize ``plan`` through the execution-plan cache.
 
@@ -159,7 +181,8 @@ class RheemContext:
         misses populate the cache for the next structurally identical
         submission.
         """
-        optimizer = self.optimizer(allowed_platforms, objective=objective)
+        optimizer = self.optimizer(allowed_platforms, objective=objective,
+                                   tracer=tracer)
         key = self.plan_cache.key_for(
             plan, optimizer.estimation_ctx, self.cost_model.version,
             allowed_platforms, optimizer.objective) if cacheable else None
@@ -183,6 +206,8 @@ class RheemContext:
         fault_injector=None,
         max_stage_retries: int = 2,
         objective=None,
+        tracer: Tracer | None = None,
+        cancel_check: Callable[[], None] | None = None,
     ) -> ExecutionResult:
         """Optimize and run a plan; returns sink payloads and timings.
 
@@ -192,11 +217,19 @@ class RheemContext:
         (see :mod:`repro.core.faults`) simulates platform crashes, which
         the executor survives by re-running stages from their materialized
         inputs.
+
+        ``tracer`` runs the whole job (optimizer + executor) against a
+        per-job tracer instead of the context's own — required for
+        concurrent submissions, whose spans must never interleave.
+        ``cancel_check`` is invoked at every stage boundary and may raise
+        :class:`~repro.core.executor.JobCancelled` to abandon the job
+        (deadline enforcement in the job server).
         """
         if progressive:
             report = self.execute_progressive(
                 plan, allowed_platforms=allowed_platforms,
-                tolerance=tolerance, sniffers=list(sniffers))
+                tolerance=tolerance, sniffers=list(sniffers),
+                tracer=tracer, cancel_check=cancel_check)
             report.result.diagnostics = list(plan.diagnostics)
             return report.result
         # Sniffers address operators of THIS plan object by id; a cached
@@ -204,11 +237,12 @@ class RheemContext:
         # from, so exploratory runs bypass the cache entirely.
         exec_plan, cards = self.optimize(
             plan, allowed_platforms=allowed_platforms, objective=objective,
-            cacheable=not sniffers and fault_injector is None)
-        result = self.executor().execute(exec_plan, estimates=cards,
-                                         sniffers=list(sniffers),
-                                         fault_injector=fault_injector,
-                                         max_stage_retries=max_stage_retries)
+            cacheable=not sniffers and fault_injector is None, tracer=tracer)
+        executor = self.executor(tracer=tracer, cancel_check=cancel_check)
+        result = executor.execute(exec_plan, estimates=cards,
+                                  sniffers=list(sniffers),
+                                  fault_injector=fault_injector,
+                                  max_stage_retries=max_stage_retries)
         result.diagnostics = list(plan.diagnostics)
         return result
 
@@ -219,13 +253,15 @@ class RheemContext:
         tolerance: float = 2.0,
         max_replans: int = 5,
         sniffers: Sequence[Sniffer] = (),
+        tracer: Tracer | None = None,
+        cancel_check: Callable[[], None] | None = None,
     ) -> ProgressiveReport:
         """Run with progressive optimization; reports the re-plan count."""
         return execute_progressively(
             plan,
             make_optimizer=lambda overrides: self.optimizer(
-                allowed_platforms, overrides),
-            executor=self.executor(),
+                allowed_platforms, overrides, tracer=tracer),
+            executor=self.executor(tracer=tracer, cancel_check=cancel_check),
             tolerance=tolerance,
             max_replans=max_replans,
             sniffers=list(sniffers),

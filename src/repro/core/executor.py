@@ -18,6 +18,7 @@ The executor also implements:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -40,6 +41,18 @@ from .optimizer import LoopBodySource
 
 #: Checkpoint hook: (monitor, completed logical op ids) -> True to replan.
 CheckpointHook = Callable[[Monitor, set[int]], bool]
+
+
+class JobCancelled(RuntimeError):
+    """Raised by a cancellation hook to abandon a job between stages.
+
+    The executor calls its ``cancel_check`` at every stage boundary (top
+    level and inside loop bodies) — *outside* any attempt's buffered
+    scratch state, so a cancelled job leaves every committed stage intact
+    and nothing half-done behind: the shared plan cache, metrics and
+    monitor stay consistent.  The job server maps this to the ``timeout``
+    (deadline exceeded) job state.
+    """
 
 
 class ReplanRequested(Exception):
@@ -109,6 +122,7 @@ class Executor:
         config: dict[str, Any] | None = None,
         tracer=None,
         metrics: MetricsRegistry | None = None,
+        cancel_check: Callable[[], None] | None = None,
     ) -> None:
         self.cluster = cluster
         self.graph = conversion_graph
@@ -116,6 +130,14 @@ class Executor:
         self.config = dict(config or {})
         self.tracer = tracer or NO_TRACER
         self.metrics = metrics or MetricsRegistry()
+        #: Cooperative cancellation hook, called at every stage boundary;
+        #: raises (e.g. :class:`JobCancelled`) to abandon the job cleanly.
+        self.cancel_check = cancel_check
+        #: Wall-clock seconds to dwell per executed stage, emulating the
+        #: driver-to-platform round trip a real deployment waits through
+        #: (``config["stage_wall_s"]``; the concurrency benchmark uses it
+        #: to model remote-platform latency that worker threads overlap).
+        self._stage_wall_s = float(self.config.get("stage_wall_s", 0.0))
         #: descriptor name -> (graph version, driver-collection path); loop
         #: conditions materialize the loop variable every iteration, so the
         #: path is resolved once per descriptor instead of per check.
@@ -233,6 +255,11 @@ class Executor:
         """
         from .faults import PlatformFailure
 
+        if self.cancel_check is not None:
+            # Stage boundary: the only cancellation point, deliberately
+            # outside the attempt scratch state below — a cancelled job
+            # keeps every committed stage and abandons nothing half-done.
+            self.cancel_check()
         attempt = 0
         previous_attempt_id = None
         with self.tracer.span(f"stage:{label}",
@@ -306,6 +333,8 @@ class Executor:
                 self.metrics.counter("executor.stages").inc()
                 if monitor is not None:
                     monitor.record_stage(timing, stage.platform, observations)
+                if self._stage_wall_s > 0.0:
+                    time.sleep(self._stage_wall_s)
                 return timing
 
     # --------------------------------------------------------------- tasks

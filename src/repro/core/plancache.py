@@ -29,6 +29,7 @@ Entries are LRU-bounded.  Hit/miss/eviction/flush counts feed the shared
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any
 
@@ -49,6 +50,13 @@ class ExecutionPlanCache:
     Values are ``(execution plan, cardinality estimates)`` pairs: the
     estimates are keyed by the *cached* plan's operator ids, so a hit
     replays both together (the executor's monitor consumes them).
+
+    The cache is shared by every worker thread of the job server, so all
+    entry/stat mutation happens under one re-entrant lock.  In the
+    documented lock order (``DESIGN.md``) this lock sits *above* the
+    metrics lock — ``_stat`` increments a counter while holding it — and
+    below the server's job-table lock; it must never be held while calling
+    into the conversion graph.
     """
 
     def __init__(self, capacity: int = 64,
@@ -58,12 +66,15 @@ class ExecutionPlanCache:
         self.enabled = True
         self.stats: dict[str, int] = dict.fromkeys(PLAN_CACHE_STAT_NAMES, 0)
         self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def _stat(self, name: str) -> None:
-        self.stats[name] += 1
+        with self._lock:
+            self.stats[name] += 1
         if self.metrics is not None:
             self.metrics.counter(f"plan_cache.{name}").inc()
 
@@ -96,29 +107,33 @@ class ExecutionPlanCache:
 
     # ------------------------------------------------------------- access
     def get(self, key: tuple) -> "tuple[ExecutionPlan, dict] | None":
-        entry = self._entries.get(key)
-        if entry is None:
-            self._stat("misses")
-            return None
-        self._entries.move_to_end(key)
-        self._stat("hits")
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._stat("misses")
+                return None
+            self._entries.move_to_end(key)
+            self._stat("hits")
+            return entry
 
     def put(self, key: tuple, exec_plan: "ExecutionPlan",
             cards: "dict[int, CardinalityEstimate]") -> None:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = (exec_plan, dict(cards))
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self._stat("evictions")
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (exec_plan, dict(cards))
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._stat("evictions")
 
     def flush(self) -> None:
         """Drop every entry (cost-model parameters changed)."""
-        if self._entries:
-            self._stat("flushes")
-            self._entries.clear()
+        with self._lock:
+            if self._entries:
+                self._stat("flushes")
+                self._entries.clear()
 
     def snapshot(self) -> dict[str, Any]:
         """Stats plus current size, for profile/REST surfaces."""
-        return {**self.stats, "size": len(self._entries)}
+        with self._lock:
+            return {**self.stats, "size": len(self._entries)}

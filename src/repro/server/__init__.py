@@ -1,0 +1,30 @@
+"""The concurrent job-execution layer (the deployment shape of the RHEEM
+demo paper: many applications submitting plans to ONE shared cross-platform
+layer).
+
+:class:`JobServer` accepts JSON job documents into a bounded queue with
+admission control, dispatches them to a thread worker pool, and runs each
+job against an isolated per-job view — its own
+:class:`~repro.trace.Tracer`, channel environment and executor scratch
+state — while sharing the read-mostly expensive pieces across jobs: the
+execution-plan cache, the conversion graph's memo tables, the metrics
+registry and the learned cost parameters, each behind an explicit lock
+(the lock order is documented in ``DESIGN.md``).
+
+Jobs move through the states ``queued -> running -> done|failed|timeout``
+(or are ``rejected`` at admission) and are queryable by job id; per-job
+deadlines are enforced by cooperative cancellation at executor stage
+boundaries; shutdown drains the queue gracefully.
+"""
+
+from .http import make_wsgi_app
+from .jobs import Job, JobState
+from .server import AdmissionError, JobServer
+
+__all__ = [
+    "AdmissionError",
+    "Job",
+    "JobServer",
+    "JobState",
+    "make_wsgi_app",
+]

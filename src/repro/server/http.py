@@ -1,0 +1,108 @@
+"""A WSGI front end for :class:`~repro.server.server.JobServer`.
+
+Routes::
+
+    POST /jobs                submit and wait for the response (200/400);
+                              queue-full admission rejections map to 429,
+                              shutdown rejections to 503, deadline
+                              timeouts to 408
+    POST /jobs?mode=async     submit and return ``202 {"job_id": ...}``
+    GET  /jobs/<id>           job status (plus the response once terminal)
+    GET  /metrics             the shared metrics-registry snapshot
+
+Usable with any WSGI server or called directly in tests; no sockets
+required.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterable
+from urllib.parse import parse_qs
+
+from .jobs import JobState
+from .server import JobServer
+
+StartResponse = Callable[..., Any]
+WsgiApp = Callable[[dict[str, Any], StartResponse], Iterable[bytes]]
+
+_STATUS_LINES = {
+    200: "200 OK",
+    202: "202 Accepted",
+    400: "400 Bad Request",
+    404: "404 Not Found",
+    408: "408 Request Timeout",
+    429: "429 Too Many Requests",
+    503: "503 Service Unavailable",
+}
+
+
+def _reply(start_response: StartResponse, code: int,
+           payload: dict[str, Any]) -> list[bytes]:
+    start_response(_STATUS_LINES[code],
+                   [("Content-Type", "application/json")])
+    return [json.dumps(payload).encode()]
+
+
+def _response_code(response: dict[str, Any]) -> int:
+    if response.get("status") == "ok":
+        return 200
+    if response.get("status") == "rejected":
+        return int(response.get("code", 429))
+    if response.get("kind") == "Timeout":
+        return 408
+    return 400
+
+
+def make_wsgi_app(server: JobServer) -> WsgiApp:
+    """A WSGI application serving the job server's REST interface."""
+
+    def app(environ: dict[str, Any],
+            start_response: StartResponse) -> Iterable[bytes]:
+        method = environ.get("REQUEST_METHOD", "")
+        path = environ.get("PATH_INFO", "")
+
+        if method == "GET" and path == "/metrics":
+            return _reply(start_response, 200, server.metrics.snapshot())
+
+        if method == "GET" and path.startswith("/jobs/"):
+            status = server.status(path[len("/jobs/"):])
+            if status is None:
+                return _reply(start_response, 404, {
+                    "status": "error", "error": "unknown job id"})
+            return _reply(start_response, 200, status)
+
+        if method != "POST" or path != "/jobs":
+            return _reply(start_response, 404, {
+                "status": "error",
+                "error": "POST /jobs, GET /jobs/<id> or GET /metrics"})
+
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+            body = environ["wsgi.input"].read(length)
+            document = json.loads(body)
+        except (ValueError, KeyError) as exc:
+            return _reply(start_response, 400, {
+                "status": "error", "error": f"bad JSON: {exc}"})
+
+        query = parse_qs(environ.get("QUERY_STRING", ""))
+        deadline_s: float | None = None
+        if "deadline_s" in query:
+            try:
+                deadline_s = float(query["deadline_s"][0])
+            except ValueError:
+                return _reply(start_response, 400, {
+                    "status": "error", "error": "bad deadline_s"})
+
+        job = server.submit(document, deadline_s=deadline_s)
+        if job.state is JobState.REJECTED:
+            assert job.response is not None
+            return _reply(start_response, _response_code(job.response),
+                          job.response)
+        if query.get("mode", [""])[0] == "async":
+            return _reply(start_response, 202, {
+                "status": "queued", "job_id": job.job_id})
+        response = server.result(job.job_id)
+        return _reply(start_response, _response_code(response), response)
+
+    return app

@@ -1,0 +1,287 @@
+"""The concurrent job server: worker pool, admission control, deadlines.
+
+One :class:`JobServer` wraps one shared :class:`~repro.core.context.
+RheemContext`.  Jobs are admitted into a bounded queue (capacity =
+``workers + queue_size``; the structured 429-style rejection is returned
+instead of blocking when it is full), dispatched to a
+:class:`~concurrent.futures.ThreadPoolExecutor`, and each runs through
+:class:`~repro.api.service.RheemService` with a per-job tracer and a
+deadline enforced cooperatively at executor stage boundaries.
+
+Shared-vs-isolated split (see ``DESIGN.md`` for the lock order):
+
+* **shared, locked** — execution-plan cache, conversion-graph memo
+  tables, metrics registry, learned cost parameters;
+* **per-job** — tracer, channel environment, executor scratch state,
+  monitor, critical-path tracker.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any
+
+from ..api.service import RheemService
+from ..core.context import RheemContext
+from ..core.executor import JobCancelled
+from ..trace import Tracer
+from .jobs import Job, JobState
+
+
+class AdmissionError(RuntimeError):
+    """Raised by :meth:`JobServer.submit_sync` on rejection.
+
+    Carries the structured rejection ``response`` (the same dict an async
+    :meth:`JobServer.submit` returns on the rejected job).
+    """
+
+    def __init__(self, response: dict[str, Any]) -> None:
+        super().__init__(response.get("error", "job rejected"))
+        self.response = response
+
+
+class JobServer:
+    """Accepts, schedules and isolates concurrent job-document executions.
+
+    Args:
+        ctx: The shared context (a fresh one by default).  Its plan cache,
+            conversion graph, metrics registry and cost model are shared by
+            every job; everything else a job touches is per-job state.
+        env: Extra names exposed to document UDF expressions.
+        workers: Worker-thread count (``>= 1``).
+        queue_size: Jobs allowed to *wait* beyond the running ones; the
+            admission bound is ``workers + queue_size`` jobs in the system.
+        default_deadline_s: Deadline applied to jobs that do not carry one
+            (``None``: no deadline).  Deadlines are measured from
+            *admission*, so time spent queued counts against them.
+    """
+
+    def __init__(
+        self,
+        ctx: RheemContext | None = None,
+        env: dict[str, Any] | None = None,
+        workers: int = 4,
+        queue_size: int = 16,
+        default_deadline_s: float | None = None,
+    ) -> None:
+        self.ctx = ctx if ctx is not None else RheemContext()
+        self.service = RheemService(self.ctx, env)
+        self.workers = max(1, int(workers))
+        self.queue_size = max(0, int(queue_size))
+        self.default_deadline_s = default_deadline_s
+        self.metrics = self.ctx.metrics
+        # Outermost lock of the runtime (see DESIGN.md "Lock order"):
+        # guards the job table, the queued/running counters and the
+        # accepting flag.  Never held while a job executes.
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._futures: dict[str, Future[None]] = {}
+        self._queued = 0
+        self._running = 0
+        self._accepting = True
+        self._ids = itertools.count(1)
+        self._pool = ThreadPoolExecutor(max_workers=self.workers,
+                                        thread_name_prefix="rheem-job")
+
+    # ------------------------------------------------------------ admission
+    @property
+    def capacity(self) -> int:
+        """Maximum jobs in the system (queued + running) at once."""
+        return self.workers + self.queue_size
+
+    def submit(self, document: dict[str, Any],
+               deadline_s: float | None = None) -> Job:
+        """Admit one job document; returns its :class:`Job` handle.
+
+        The returned job is either ``queued`` (admitted — await
+        :meth:`result`) or ``rejected`` with a structured 429/503-style
+        ``response`` already attached; a rejected job never occupies a
+        queue slot and is not retained in the job table.
+        """
+        now = time.monotonic()
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        with self._lock:
+            job_id = f"job-{next(self._ids)}"
+            job = Job(job_id=job_id, document=document, submitted_at=now,
+                      deadline_s=deadline_s)
+            if not self._accepting:
+                return self._reject_locked(job, code=503,
+                                           kind="ServerStopping",
+                                           error="server is shutting down")
+            if self._queued + self._running >= self.capacity:
+                return self._reject_locked(
+                    job, code=429, kind="QueueFull",
+                    error=(f"job queue full: {self._queued} queued + "
+                           f"{self._running} running "
+                           f"(capacity {self.capacity})"))
+            self._jobs[job_id] = job
+            self._queued += 1
+            self._update_gauges_locked()
+            self._futures[job_id] = self._pool.submit(self._run, job)
+        self.metrics.counter("server.jobs.submitted").inc()
+        return job
+
+    def submit_sync(self, document: dict[str, Any],
+                    deadline_s: float | None = None,
+                    timeout: float | None = None) -> dict[str, Any]:
+        """Admit and wait; returns the job's response document.
+
+        Raises:
+            AdmissionError: If the job was rejected at admission.
+        """
+        job = self.submit(document, deadline_s=deadline_s)
+        if job.state is JobState.REJECTED:
+            assert job.response is not None
+            raise AdmissionError(job.response)
+        return self.result(job.job_id, timeout=timeout)
+
+    def _reject_locked(self, job: Job, code: int, kind: str,
+                       error: str) -> Job:
+        job.state = JobState.REJECTED
+        job.finished_at = time.monotonic()
+        job.response = {"status": "rejected", "code": code, "kind": kind,
+                        "error": error, "job_id": job.job_id,
+                        "queue_depth": self._queued,
+                        "in_flight": self._running}
+        job.finished.set()
+        self.metrics.counter("server.jobs.rejected").inc()
+        return job
+
+    # -------------------------------------------------------------- queries
+    def get(self, job_id: str) -> Job | None:
+        """The job handle for ``job_id`` (``None`` if unknown)."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def status(self, job_id: str) -> dict[str, Any] | None:
+        """JSON-ready status for ``job_id`` (``None`` if unknown)."""
+        job = self.get(job_id)
+        return None if job is None else job.status()
+
+    def result(self, job_id: str, timeout: float | None = None
+               ) -> dict[str, Any]:
+        """Block until ``job_id`` finishes; returns its response document.
+
+        Raises:
+            KeyError: If the job id is unknown.
+            TimeoutError: If ``timeout`` elapses first.
+        """
+        job = self.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        if not job.finished.wait(timeout):
+            raise TimeoutError(f"{job_id} still {job.state.value} "
+                               f"after {timeout}s")
+        assert job.response is not None
+        return job.response
+
+    def snapshot(self) -> dict[str, Any]:
+        """Queue/worker occupancy and per-state job counts."""
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state.value] = states.get(job.state.value, 0) + 1
+            return {
+                "workers": self.workers,
+                "queue_size": self.queue_size,
+                "capacity": self.capacity,
+                "accepting": self._accepting,
+                "queue_depth": self._queued,
+                "in_flight": self._running,
+                "states": states,
+            }
+
+    # ------------------------------------------------------------ lifecycle
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting jobs; by default drain the queue gracefully.
+
+        With ``drain=True`` every already-admitted job runs to completion
+        before the pool stops.  With ``drain=False`` still-queued jobs are
+        cancelled and finish ``failed`` (kind ``ServerShutdown``); running
+        jobs are never interrupted mid-stage.
+        """
+        with self._lock:
+            self._accepting = False
+            futures = dict(self._futures)
+        if drain:
+            self._pool.shutdown(wait=True)
+            return
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        for job_id, future in futures.items():
+            if not future.cancelled():
+                continue
+            with self._lock:
+                job = self._jobs[job_id]
+                if job.state is not JobState.QUEUED:
+                    continue
+                job.state = JobState.FAILED
+                job.finished_at = time.monotonic()
+                job.response = {"status": "error", "kind": "ServerShutdown",
+                                "error": "server shut down before the job "
+                                         "ran", "job_id": job_id}
+                self._queued -= 1
+                self._update_gauges_locked()
+            self.metrics.counter("server.jobs.failed").inc()
+            job.finished.set()
+
+    def __enter__(self) -> "JobServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown(drain=True)
+
+    # -------------------------------------------------------------- workers
+    def _cancel_check(self, job: Job) -> None:
+        """Stage-boundary hook: raise once the job's deadline has passed."""
+        if job.deadline_s is None:
+            return
+        if time.monotonic() - job.submitted_at > job.deadline_s:
+            raise JobCancelled(
+                f"{job.job_id} exceeded its deadline of {job.deadline_s}s")
+
+    def _run(self, job: Job) -> None:
+        """Worker body: run one admitted job under per-job state."""
+        with self._lock:
+            self._queued -= 1
+            self._running += 1
+            job.state = JobState.RUNNING
+            job.started_at = time.monotonic()
+            self._update_gauges_locked()
+        assert job.wait_s is not None
+        self.metrics.histogram("server.wait_s").observe(job.wait_s)
+        tracer: Tracer = job.tracer
+        state = JobState.DONE
+        try:
+            # The deadline may already have passed while the job queued.
+            self._cancel_check(job)
+            response = self.service.submit(
+                job.document, tracer=tracer,
+                cancel_check=lambda: self._cancel_check(job))
+            if response.get("status") != "ok":
+                state = JobState.FAILED
+        except JobCancelled as exc:
+            state = JobState.TIMEOUT
+            response = {"status": "error", "kind": "Timeout",
+                        "error": str(exc), "job_id": job.job_id}
+        except Exception as exc:  # noqa: BLE001 — a worker must never die
+            state = JobState.FAILED
+            response = {"status": "error", "kind": type(exc).__name__,
+                        "error": str(exc), "job_id": job.job_id}
+        with self._lock:
+            job.state = state
+            job.finished_at = time.monotonic()
+            job.response = response
+            self._running -= 1
+            self._update_gauges_locked()
+        assert job.run_s is not None
+        self.metrics.histogram("server.run_s").observe(job.run_s)
+        self.metrics.counter(f"server.jobs.{state.value}").inc()
+        job.finished.set()
+
+    def _update_gauges_locked(self) -> None:
+        self.metrics.gauge("server.queue_depth").set(self._queued)
+        self.metrics.gauge("server.in_flight").set(self._running)

@@ -6,12 +6,24 @@ service, so a whole cross-platform job rolls up into a single snapshot.
 Instruments are created on first use (``registry.counter("x").inc()``)
 and are deliberately tiny — a few float fields — so the hot path can
 update them unconditionally.
+
+The registry is shared across the job server's worker threads, so every
+instrument update happens under one process-wide lock (``a += b`` on a
+float is not atomic at the bytecode level).  The lock is the *innermost*
+lock of the runtime (see ``DESIGN.md``, "Lock order"): no code path may
+acquire another lock while holding it, which makes it always safe to take.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any
+
+#: Guards every instrument mutation and the registry's instrument tables.
+#: Innermost lock in the documented lock order: never acquire any other
+#: lock while holding it.
+_METRICS_LOCK = threading.Lock()
 
 
 @dataclass
@@ -25,7 +37,8 @@ class Counter:
         """Add ``amount`` (must be non-negative) to the counter."""
         if amount < 0:
             raise ValueError(f"counter {self.name}: negative inc {amount!r}")
-        self.value += amount
+        with _METRICS_LOCK:
+            self.value += amount
 
 
 @dataclass
@@ -36,7 +49,8 @@ class Gauge:
     value: float = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with _METRICS_LOCK:
+            self.value = float(value)
 
 
 @dataclass
@@ -58,14 +72,15 @@ class Histogram:
     def observe(self, value: float) -> None:
         """Record one sample."""
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
-        if len(self.samples) < self.reservoir_size:
-            self.samples.append(value)
-        else:  # ring-buffer the reservoir: keep the most recent window
-            self.samples[self.count % self.reservoir_size] = value
+        with _METRICS_LOCK:
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            if len(self.samples) < self.reservoir_size:
+                self.samples.append(value)
+            else:  # ring-buffer the reservoir: keep the most recent window
+                self.samples[self.count % self.reservoir_size] = value
 
     @property
     def mean(self) -> float:
@@ -75,18 +90,20 @@ class Histogram:
         """The ``q``-quantile (0..1) over the retained reservoir."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q!r}")
-        if not self.samples:
+        with _METRICS_LOCK:
+            ordered = sorted(self.samples)
+        if not ordered:
             return 0.0
-        ordered = sorted(self.samples)
         index = min(len(ordered) - 1, int(q * len(ordered)))
         return ordered[index]
 
     def to_json(self) -> dict[str, float]:
-        if not self.count:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-                    "mean": 0.0}
-        return {"count": self.count, "sum": self.total, "min": self.min,
-                "max": self.max, "mean": self.mean}
+        with _METRICS_LOCK:
+            if not self.count:
+                return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                        "mean": 0.0}
+            return {"count": self.count, "sum": self.total, "min": self.min,
+                    "max": self.max, "mean": self.total / self.count}
 
 
 class MetricsRegistry:
@@ -101,21 +118,25 @@ class MetricsRegistry:
         """The counter called ``name`` (created on first use)."""
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters[name] = Counter(name)
+            with _METRICS_LOCK:
+                instrument = self._counters.setdefault(name, Counter(name))
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         """The gauge called ``name`` (created on first use)."""
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = self._gauges[name] = Gauge(name)
+            with _METRICS_LOCK:
+                instrument = self._gauges.setdefault(name, Gauge(name))
         return instrument
 
     def histogram(self, name: str) -> Histogram:
         """The histogram called ``name`` (created on first use)."""
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(name)
+            with _METRICS_LOCK:
+                instrument = self._histograms.setdefault(
+                    name, Histogram(name))
         return instrument
 
     def snapshot(self) -> dict[str, Any]:
