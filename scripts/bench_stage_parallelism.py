@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Intra-job stage parallelism: wall-clock speedup at equal results.
+
+One wide polystore plan — independent branches pinned onto different
+platforms, merged by a balanced union tree — runs at several
+``stage_parallelism`` settings.  Driver-to-platform latency is modelled
+with ``config["stage_wall_s"]``: every stage attempt dwells that many
+wall-clock seconds, the way a real driver waits on a cluster RPC.  The
+concurrent stage scheduler overlaps those dwells across lanes while
+committing in stage-list order, so the *only* thing allowed to change
+with parallelism is the wall clock: outputs, monitor contents and the
+simulated makespan are asserted bit-for-bit identical to the serial run.
+
+Reported per parallelism level: best-of-N wall seconds and the speedup
+over serial.  The acceptance bar: >= 2x wall-clock at 4 lanes vs 1.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_stage_parallelism.py
+        [--parallelism 1 4 8] [--stage-wall-ms 50] [--branches 8]
+        [--depth 3] [--repeats 3] [--out BENCH_stage_parallelism.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import RheemContext  # noqa: E402
+
+#: Platforms the branches cycle through — the default parallelism is the
+#: distinct-platform count, so a real polystore spread matters.
+BRANCH_PLATFORMS = ["pystreams", "sparklite", "flinklite"]
+
+
+def _wide_plan(ctx: RheemContext, branches: int, depth: int):
+    """``branches`` independent pinned pipelines, merged pairwise.
+
+    Each branch hops across ``depth`` platforms (every hop is a stage
+    boundary), and the union tree is balanced so the critical path is
+    ``depth`` branch stages plus O(log branches) union stages — the
+    branch work is where the overlap happens.
+    """
+    quanta = []
+    for i in range(branches):
+        quantum = ctx.load_collection(list(range(20)), sim_factor=2_000.0)
+        for hop in range(depth):
+            platform = BRANCH_PLATFORMS[(i + hop) % len(BRANCH_PLATFORMS)]
+            quantum = (quantum.map(lambda x: x + 1)
+                       .with_target_platform(platform))
+        quanta.append(quantum)
+    while len(quanta) > 1:
+        quanta = [quanta[i].union(quanta[i + 1])
+                  if i + 1 < len(quanta) else quanta[i]
+                  for i in range(0, len(quanta), 2)]
+    return quanta[0]
+
+
+def _fingerprint(result) -> dict:
+    """Everything that must match bit-for-bit between parallelism levels."""
+    return {
+        "output": sorted(result.output),
+        "makespan": result.runtime,
+        "stage_count": result.stage_count,
+        "platforms": sorted(result.platforms),
+        "timings": sorted((t.stage_id, t.start, t.duration)
+                          for t in result.tracker.timings()),
+        "stage_timeline": [(t.stage_id, t.start, t.duration)
+                           for t in result.monitor.stage_timings],
+        "actual_cardinalities": sorted(result.monitor.actuals.values()),
+    }
+
+
+def _run_once(parallelism: int, branches: int, depth: int,
+              stage_wall_s: float):
+    ctx = RheemContext(config={"stage_wall_s": stage_wall_s,
+                               "stage_parallelism": parallelism})
+    plan = _wide_plan(ctx, branches, depth)
+    start = time.perf_counter()
+    result = plan.execute()
+    return time.perf_counter() - start, result
+
+
+def _run_config(parallelism: int, branches: int, depth: int,
+                stage_wall_s: float, repeats: int) -> tuple[dict, dict]:
+    walls = []
+    fingerprint = None
+    for __ in range(repeats):
+        wall_s, result = _run_once(parallelism, branches, depth,
+                                   stage_wall_s)
+        walls.append(wall_s)
+        fp = _fingerprint(result)
+        assert fingerprint is None or fp == fingerprint, \
+            "non-deterministic result within one configuration"
+        fingerprint = fp
+    return {
+        "parallelism": parallelism,
+        "wall_s": min(walls),
+        "wall_s_all": walls,
+        "stages": fingerprint["stage_count"],
+        "simulated_makespan_s": fingerprint["makespan"],
+    }, fingerprint
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--parallelism", type=int, nargs="+",
+                        default=[1, 4, 8])
+    parser.add_argument("--stage-wall-ms", type=float, default=50.0,
+                        help="modelled driver<->platform round trip per "
+                             "stage attempt (default 50 ms)")
+    parser.add_argument("--branches", type=int, default=8,
+                        help="independent pinned branches (default 8)")
+    parser.add_argument("--depth", type=int, default=3,
+                        help="platform hops (= stages) per branch "
+                             "(default 3)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per configuration; best wall wins")
+    parser.add_argument("--out", default="BENCH_stage_parallelism.json")
+    args = parser.parse_args(argv)
+
+    stage_wall_s = args.stage_wall_ms / 1000.0
+    configs: dict[str, dict] = {}
+    baseline_fp = None
+    for parallelism in args.parallelism:
+        config, fingerprint = _run_config(
+            parallelism, args.branches, args.depth, stage_wall_s,
+            args.repeats)
+        # The scheduler's core contract: parallelism changes the wall
+        # clock and nothing else.
+        assert baseline_fp is None or fingerprint == baseline_fp, \
+            f"parallelism={parallelism} changed the observable result"
+        baseline_fp = fingerprint
+        configs[str(parallelism)] = config
+        print(f"{parallelism} lane(s): {config['wall_s']:.3f} s wall "
+              f"(best of {args.repeats}), {config['stages']} stages, "
+              f"simulated makespan {config['simulated_makespan_s']:.3f} s")
+
+    base = configs.get("1")
+    report = {
+        "benchmark": "stage_parallelism",
+        "workload": f"{args.branches}-branch depth-{args.depth} pinned "
+                    f"polystore union tree",
+        "stage_wall_ms": args.stage_wall_ms,
+        "branches": args.branches,
+        "depth": args.depth,
+        "repeats": args.repeats,
+        "identical_results": True,
+        "configs": configs,
+        "speedups_vs_serial": {
+            name: base["wall_s"] / cfg["wall_s"]
+            for name, cfg in configs.items()
+        } if base else {},
+    }
+    speedup_4 = report["speedups_vs_serial"].get("4")
+    report["speedup_4v1"] = speedup_4
+    report["meets_2x_bar"] = bool(speedup_4 and speedup_4 >= 2.0)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    if speedup_4 is not None:
+        print(f"4-lane speedup over serial: {speedup_4:.2f}x "
+              f"({'meets' if report['meets_2x_bar'] else 'MISSES'} "
+              f"the 2x bar)")
+    print(f"wrote {args.out}")
+    return 0 if report["meets_2x_bar"] or speedup_4 is None else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

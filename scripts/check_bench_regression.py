@@ -1,13 +1,14 @@
 #!/usr/bin/env python
 """Compare fresh benchmark numbers against the committed baselines.
 
-The CI ``benchmarks`` job re-runs ``scripts/bench_optimizer_cache.py`` and
-``scripts/bench_concurrency.py`` into a scratch directory, then calls this
-script to compare the fresh reports against the ``BENCH_*.json`` files
-committed at the repository root.  Only *ratio* metrics are gated — warm-
-cache speedup and concurrency throughput scaling — because absolute
-timings vary with the runner hardware while ratios are self-normalizing;
-absolute numbers are printed for context.
+The CI ``benchmarks`` job re-runs ``scripts/bench_optimizer_cache.py``,
+``scripts/bench_concurrency.py`` and ``scripts/bench_stage_parallelism.py``
+into a scratch directory, then calls this script to compare the fresh
+reports against the ``BENCH_*.json`` files committed at the repository
+root.  Only *ratio* metrics are gated — warm-cache speedup, concurrency
+throughput scaling and intra-job stage-parallel speedup — because
+absolute timings vary with the runner hardware while ratios are
+self-normalizing; absolute numbers are printed for context.
 
 A metric regresses when ``fresh < baseline * (1 - tolerance)``; the
 tolerance defaults to 0.25 (25%) and can be overridden via the
@@ -43,6 +44,9 @@ GATED_METRICS: list[tuple[str, str, tuple[str, ...]]] = [
      ("workloads", "wide_merge_topology", "warm_speedup")),
     ("BENCH_concurrency.json",
      "concurrency throughput speedup (4 workers vs 1)",
+     ("speedup_4v1",)),
+    ("BENCH_stage_parallelism.json",
+     "stage-parallel wall speedup (4 lanes vs serial)",
      ("speedup_4v1",)),
 ]
 

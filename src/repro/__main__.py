@@ -101,7 +101,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     job_server = JobServer(_build_context(args), workers=args.jobs,
                            queue_size=args.queue_size,
-                           default_deadline_s=args.deadline)
+                           default_deadline_s=args.deadline,
+                           stage_threads=args.stage_threads)
     httpd = make_server("127.0.0.1", args.port, make_wsgi_app(job_server),
                         server_class=ThreadingWSGIServer)
     print(f"rheem job server on http://127.0.0.1:{args.port}/jobs "
@@ -186,6 +187,11 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--deadline", type=float, default=None,
                        help="default per-job deadline in seconds "
                             "(measured from admission; default: none)")
+    serve.add_argument("--stage-threads", type=int, default=None,
+                       dest="stage_threads",
+                       help="total intra-job stage-lane budget across all "
+                            "workers; each job gets stage-threads/jobs "
+                            "lanes (default: 2x --jobs)")
     lint = sub.add_parser(
         "lint", help="statically analyze the plans a script builds")
     lint.add_argument("script", help="path to a .py or .latin script")

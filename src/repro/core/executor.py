@@ -1,10 +1,14 @@
 """The executor (Section 4.2 of the paper).
 
-Cuts the execution plan into stages, dispatches them in dependency order,
-drives loops (pausing at loop heads to evaluate the condition), applies
-channel conversions at stage boundaries, and aggregates simulated time
-along the critical path (independent stages overlap — inter-platform
-parallelism).
+Cuts the execution plan into stages, dispatches every *ready* stage onto
+a bounded pool of worker lanes (:mod:`repro.core.scheduler`), drives
+loops (pausing at loop heads to evaluate the condition), applies channel
+conversions at stage boundaries, and aggregates simulated time along the
+critical path.  Inter-platform parallelism is therefore real in
+wall-clock terms: independent stages overlap their ``stage_wall_s``
+driver-to-platform dwell, while commits stay serialized in stage-list
+order so outputs, monitor contents and the simulated makespan are
+bit-for-bit identical to a serial run (``stage_parallelism=1``).
 
 The executor also implements:
 
@@ -18,6 +22,7 @@ The executor also implements:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -25,6 +30,7 @@ from typing import Any, Callable, Sequence
 from ..simulation.clock import CostMeter, CriticalPathTracker
 from ..simulation.cluster import VirtualCluster
 from ..trace import NO_TRACER, MetricsRegistry
+from ..trace.spans import Span
 from .cardinality import CardinalityEstimate
 from .channels import Channel, ChannelConversionGraph, ConversionPath
 from .execution import (
@@ -38,6 +44,7 @@ from .execution import (
 from .monitor import Monitor, OperatorObservation
 from .operators import DoWhileLoop, RepeatLoop
 from .optimizer import LoopBodySource
+from .scheduler import StageScheduler
 
 #: Checkpoint hook: (monitor, completed logical op ids) -> True to replan.
 CheckpointHook = Callable[[Monitor, set[int]], bool]
@@ -111,6 +118,95 @@ class ExecutionResult:
         return self.outputs[0]
 
 
+class _StageRecorder:
+    """Buffers critical-path records until the owning stage commits.
+
+    A stage's wasted retry attempts and its loop-body stages must appear
+    on the simulated critical path — but only if the stage commits.  The
+    recorder resolves dependency end times from its own buffered records
+    first, then (under the job lock) from the already committed tracker,
+    so the timings it hands back during compute are numerically identical
+    to what :meth:`replay` later inserts for real.
+    """
+
+    __slots__ = ("_base", "_lock", "_local", "_records")
+
+    def __init__(self, base: CriticalPathTracker, lock: threading.Lock) -> None:
+        self._base = base
+        self._lock = lock
+        self._local: dict[str, float] = {}
+        self._records: list[tuple[str, list[str], CostMeter]] = []
+
+    def seed(self, stage_id: str, end: float) -> None:
+        """Pre-resolve a producer's end time (its outcome's ``sim_end``).
+
+        A stage may compute before its producers *commit*; seeding makes
+        the producers' (deterministic) simulated end times resolvable
+        without consulting the shared tracker.
+        """
+        self._local[stage_id] = end
+
+    def _end_of(self, dep: str) -> float | None:
+        end = self._local.get(dep)
+        if end is None:
+            with self._lock:
+                end = self._base.end_of(dep)
+        return end
+
+    def end_for(self, dependencies: list[str], meter: CostMeter) -> float:
+        """The end time :meth:`CriticalPathTracker.record` will compute
+        for a stage with these dependencies — without buffering it."""
+        start = 0.0
+        for dep in dependencies:
+            end = self._end_of(dep)
+            if end is not None:
+                start = max(start, end)
+        return start + meter.total
+
+    def record(self, stage_id: str, dependencies: list[str],
+               meter: CostMeter):
+        from ..simulation.clock import StageTiming
+
+        start = 0.0
+        for dep in dependencies:
+            end = self._end_of(dep)
+            if end is not None:
+                start = max(start, end)
+        timing = StageTiming(stage_id, start, meter.total, meter)
+        self._local[stage_id] = timing.end
+        self._records.append((stage_id, list(dependencies), meter))
+        return timing
+
+    def replay(self, tracker: CriticalPathTracker) -> None:
+        """Insert the buffered records for real (caller holds the lock)."""
+        for stage_id, dependencies, meter in self._records:
+            tracker.record(stage_id, dependencies, meter)
+
+
+@dataclass
+class _StageOutcome:
+    """Everything one stage's surviving attempt buffered for commit."""
+
+    label: str
+    platform: str
+    span: Span
+    env: dict[int, Channel]
+    cache: dict[tuple, Channel]
+    completed: set[int]
+    scratch: Monitor | None
+    pending_sniffs: list[tuple[list[Sniffer], Any, Channel]]
+    observations: list[OperatorObservation]
+    memory_demands: list[tuple[str, float]]
+    started: set[str]
+    final_deps: list[str]
+    meter: CostMeter
+    attempts: int
+    recorder: _StageRecorder
+    #: Simulated end time the tracker will assign at commit — seeds the
+    #: recorders of dependents that compute before this stage commits.
+    sim_end: float = 0.0
+
+
 class Executor:
     """Runs execution plans on the registered platforms."""
 
@@ -133,14 +229,16 @@ class Executor:
         #: Cooperative cancellation hook, called at every stage boundary;
         #: raises (e.g. :class:`JobCancelled`) to abandon the job cleanly.
         self.cancel_check = cancel_check
-        #: Wall-clock seconds to dwell per executed stage, emulating the
-        #: driver-to-platform round trip a real deployment waits through
-        #: (``config["stage_wall_s"]``; the concurrency benchmark uses it
-        #: to model remote-platform latency that worker threads overlap).
+        #: Wall-clock seconds to dwell per executed stage *attempt*,
+        #: emulating the driver-to-platform round trip a real deployment
+        #: waits through (``config["stage_wall_s"]``; concurrent stage
+        #: lanes overlap it, which is what the stage-parallelism
+        #: benchmark measures).
         self._stage_wall_s = float(self.config.get("stage_wall_s", 0.0))
         #: descriptor name -> (graph version, driver-collection path); loop
         #: conditions materialize the loop variable every iteration, so the
         #: path is resolved once per descriptor instead of per check.
+        #: Benign under concurrency: a race recomputes the same path.
         self._collect_paths: dict[str, tuple[int, ConversionPath]] = {}
 
     # ----------------------------------------------------------- execution
@@ -161,6 +259,17 @@ class Executor:
     ) -> ExecutionResult:
         """Run ``plan`` to completion (or to a checkpoint pause).
 
+        Ready stages (all producers computed) are dispatched onto up
+        to ``config["stage_parallelism"]`` worker lanes (default: the
+        number of distinct platforms in the plan, capped by the server's
+        ``stage_parallelism_cap`` thread budget).  Commits are applied in
+        stage-list order, so every observable effect — outputs, monitor
+        contents, sniffer delivery, checkpoint barriers, the simulated
+        makespan — matches the serial run exactly; only wall-clock time
+        changes.  ``parallelize_stages=False`` keeps the paper's serial
+        baseline, additionally chaining each stage after its predecessor
+        on the simulated critical path.
+
         Failed stages (simulated crashes from ``fault_injector``) are re-run
         from their materialized inputs up to ``max_stage_retries`` times —
         the cross-platform fault tolerance of :mod:`repro.core.faults`.
@@ -172,15 +281,16 @@ class Executor:
         Raises:
             ReplanRequested: If the ``checkpoint`` hook asks for
                 re-optimization after some stage.
-            PlatformFailure: If a stage keeps crashing past the retry bound.
+            PlatformFailure: If a stage keeps crashing past the retry
+                bound.  Dependent stages that were not yet dispatched are
+                cancelled; in-flight lanes drain and their buffered
+                outcomes are discarded.
         """
         max_retries = max_stage_retries if fault_injector else 0
         monitor = monitor or Monitor(estimates=dict(estimates or {}),
                                      metrics=self.metrics)
         tracker = tracker or CriticalPathTracker()
         started = started_platforms if started_platforms is not None else set()
-        ctx = ExecutionContext(cluster=self.cluster, pgres=self.pgres,
-                               monitor=monitor, config=dict(self.config))
         env: dict[int, Channel] = dict(initial_env or {})
         conversion_cache: dict[tuple, Channel] = {}
         sniffer_map: dict[int, list[Sniffer]] = {}
@@ -188,31 +298,57 @@ class Executor:
             sniffer_map.setdefault(sniffer.logical_id, []).append(sniffer)
 
         stages = plan.build_stages(break_after=stage_breaks)
-        stage_of = {task.id: stage.id
-                    for stage in stages for task in stage.tasks}
-        crossing: set[int] = set(t.id for t in plan.sink_tasks)
-        for task in plan.tasks:
-            for ti in task.inputs + task.broadcast_inputs:
-                if stage_of.get(ti.producer.id) != stage_of.get(task.id):
-                    crossing.add(ti.producer.id)
+        crossing = self._crossing_ids(plan, stages)
         completed_logical: set[int] = set()
+        deps_of: dict[str, list[str]] = {}
         previous_stage_id: str | None = None
-        with self.tracer.span("executor.run", stages=len(stages)) as run_span:
-            for index, stage in enumerate(stages):
-                deps = sorted(stage.dependencies)
-                if not parallelize_stages and previous_stage_id is not None:
-                    # The paper's "stage parallelization" switch: with it
-                    # off, stages run strictly one after another (used for
-                    # the single-platform baseline measurements).
-                    deps = sorted(set(deps) | {previous_stage_id})
-                timing = self._run_stage_with_retries(
-                    stage, stage.id, deps, env, ctx,
-                    conversion_cache, tracker, started, sniffer_map, monitor,
+        for stage in stages:
+            deps = sorted(stage.dependencies)
+            if not parallelize_stages and previous_stage_id is not None:
+                # The paper's "stage parallelization" switch: with it
+                # off, stages run strictly one after another (used for
+                # the single-platform baseline measurements).
+                deps = sorted(set(deps) | {previous_stage_id})
+            deps_of[stage.id] = deps
+            previous_stage_id = stage.id
+        parallelism = (1 if not parallelize_stages
+                       else self._stage_parallelism(plan, stages))
+        # Deterministic charge owners, frozen before anything runs: the
+        # stage that would pay in a serial run pays in every run.
+        startup_owners = self._startup_owners(stages, started)
+        conversion_owners = (self._conversion_owners(stages)
+                             if parallelism > 1 else None)
+        job_lock = threading.Lock()
+
+        with self.tracer.span("executor.run", stages=len(stages),
+                              parallelism=parallelism) as run_span:
+
+            def compute(index: int, stage: ExecutionStage, lane: int,
+                        producers: Sequence[_StageOutcome]):
+                recorder = _StageRecorder(tracker, job_lock)
+                for producer in producers:
+                    recorder.seed(producer.label, producer.sim_end)
+                return self._compute_stage(
+                    stage, stage.id, deps_of[stage.id], env, conversion_cache,
+                    monitor_present=True, sniffer_map=sniffer_map,
+                    crossing=crossing, recorder=recorder,
+                    stage_started=set(), startup_owners=startup_owners,
+                    owner_key=stage.id, conversion_owners=conversion_owners,
+                    producers=producers,
                     injector=fault_injector, max_retries=max_retries,
-                    crossing=crossing, completed_logical=completed_logical)
-                previous_stage_id = timing.stage_id
-                remaining = stages[index + 1:]
-                if checkpoint is not None and remaining:
+                    job_lock=job_lock, lane=lane, parent_span=run_span)
+
+            def commit(index: int, stage: ExecutionStage,
+                       outcome: _StageOutcome) -> None:
+                with job_lock:
+                    outcome.recorder.replay(tracker)
+                    self._apply_outcome(outcome, env, conversion_cache,
+                                        monitor, completed_logical, tracker)
+                    started.update(outcome.started)
+                # Checkpoint barrier: evaluated at the commit cursor, i.e.
+                # in deterministic stage order, with every earlier stage
+                # committed and no later one.
+                if checkpoint is not None and index < len(stages) - 1:
                     if checkpoint(monitor, set(completed_logical)):
                         run_span.set("paused_after", stage.id)
                         raise ReplanRequested(PausedExecution(
@@ -222,6 +358,9 @@ class Executor:
                             monitor=monitor,
                             started_platforms=started,
                         ))
+
+            StageScheduler(stages, deps_of, parallelism, compute, commit,
+                           metrics=self.metrics).run()
             run_span.set("sim_makespan", tracker.makespan)
 
         outputs = [env[t.id].payload for t in plan.sink_tasks]
@@ -231,27 +370,106 @@ class Executor:
             tracker=tracker,
             monitor=monitor,
             stage_count=len(stages),
-            platforms=plan.platforms(),
+            platforms=set(started),
         )
 
+    # ------------------------------------------------------------ topology
+    @staticmethod
+    def _crossing_ids(plan: ExecutionPlan,
+                      stages: list[ExecutionStage]) -> set[int]:
+        """Task ids whose outputs are materialized at a stage boundary."""
+        stage_of = {task.id: stage.id
+                    for stage in stages for task in stage.tasks}
+        crossing: set[int] = set(t.id for t in plan.sink_tasks)
+        for task in plan.tasks:
+            for ti in task.inputs + task.broadcast_inputs:
+                if stage_of.get(ti.producer.id) != stage_of.get(task.id):
+                    crossing.add(ti.producer.id)
+        return crossing
+
+    def _stage_parallelism(self, plan: ExecutionPlan,
+                           stages: list[ExecutionStage]) -> int:
+        """Resolve the lane count for this plan.
+
+        ``config["stage_parallelism"]`` wins; the default is the number
+        of distinct (non-driver) platforms in the plan — one lane per
+        platform is the natural width of inter-platform parallelism.
+        The server's thread budget (``stage_parallelism_cap``) bounds it.
+        """
+        requested = self.config.get("stage_parallelism")
+        if requested is None:
+            requested = len(plan.platforms()) or 1
+        requested = max(1, int(requested))
+        cap = self.config.get("stage_parallelism_cap")
+        if cap is not None:
+            requested = min(requested, max(1, int(cap)))
+        return min(requested, max(1, len(stages)))
+
+    @staticmethod
+    def _stage_platforms(stage: ExecutionStage) -> list[str]:
+        """Non-driver platforms a stage touches (loop bodies included)."""
+        platforms: list[str] = []
+        if stage.platform != DRIVER_PLATFORM:
+            platforms.append(stage.platform)
+        for task in stage.tasks:
+            if isinstance(task.operator, LoopImplementation):
+                platforms.extend(sorted(task.operator.body_plan.platforms()))
+        return platforms
+
+    def _startup_owners(self, stages: list[ExecutionStage],
+                        already_started: set[str]) -> dict[str, str]:
+        """platform -> id of the stage that pays its startup cost.
+
+        The owner is the first stage in list order that uses the platform
+        (directly or via a loop body) — exactly the stage that paid in
+        the serial executor — so the charge lands on the same stage's
+        meter no matter how computes interleave.
+        """
+        owners: dict[str, str] = {}
+        for stage in stages:
+            for platform in self._stage_platforms(stage):
+                if platform not in already_started:
+                    owners.setdefault(platform, stage.id)
+        return owners
+
+    @staticmethod
+    def _conversion_owners(stages: list[ExecutionStage]
+                           ) -> dict[tuple, str]:
+        """conversion-cache key -> id of the stage that pays for it.
+
+        Shared conversion prefixes (one producer feeding several stages)
+        are charged to the first consumer in stage-list order — the stage
+        that would miss the cache in a serial run.  Later consumers reuse
+        the committed cache entry, or recompute it *uncharged* when the
+        owner has not committed yet.
+        """
+        owners: dict[tuple, str] = {}
+        for stage in stages:
+            for task in stage.tasks:
+                for ti in task.inputs + task.broadcast_inputs:
+                    key: tuple = (ti.producer.id,)
+                    for step in ti.conversion.steps:
+                        key = key + (step.name,)
+                        owners.setdefault(key, stage.id)
+        return owners
+
     # -------------------------------------------------------------- stages
-    def _run_stage_with_retries(self, stage, label, deps, env, ctx, cache,
-                                tracker, started, sniffer_map, monitor,
-                                injector=None, max_retries=0,
-                                crossing=None, completed_logical=None):
-        """Run one stage, retrying on injected platform failures.
+    def _compute_stage(self, stage, label, deps, env, cache, *,
+                       monitor_present, sniffer_map, crossing, recorder,
+                       stage_started, startup_owners, owner_key,
+                       conversion_owners, injector, max_retries, job_lock,
+                       producers=(), lane=0,
+                       parent_span=None) -> _StageOutcome:
+        """Run one stage's attempts against buffered scratch state.
 
-        Wasted attempts are recorded on the critical path (the cluster paid
-        for them); the successful attempt chains after the last failure.
-
-        Every attempt runs against *buffered* state — a scratch channel
-        environment, conversion cache, monitor and sniffer queue — that is
-        committed only when the attempt survives the fault injector.  A
-        crashed attempt therefore leaves nothing behind except its
-        critical-path charge: no half-completed operators for a later
-        checkpoint to hand the progressive optimizer, no phantom monitor
-        observations polluting the cost learner's calibration log, and no
-        double-delivered sniffer payloads.
+        Retries on injected platform failures up to ``max_retries``;
+        wasted attempts are buffered on ``recorder`` (the cluster paid
+        for them) and the successful attempt chains after the last
+        failure.  Nothing shared is touched except read-only snapshots
+        taken under ``job_lock`` — the returned outcome is applied by
+        :meth:`_apply_outcome` when the stage commits.  The
+        ``stage_wall_s`` dwell is charged per *attempt* (a crashed
+        dispatch still pays the round trip).
         """
         from .faults import PlatformFailure
 
@@ -262,43 +480,64 @@ class Executor:
             self.cancel_check()
         attempt = 0
         previous_attempt_id = None
-        with self.tracer.span(f"stage:{label}",
-                              platform=stage.platform) as stage_span:
+        handle = (self.tracer.span_under(parent_span, f"stage:{label}",
+                                         platform=stage.platform, lane=lane)
+                  if parent_span is not None
+                  else self.tracer.span(f"stage:{label}",
+                                        platform=stage.platform))
+        with handle as stage_span:
             while True:
                 meter = CostMeter()
-                attempt_env = dict(env)
-                attempt_cache = dict(cache)
+                with job_lock:
+                    attempt_env = dict(env)
+                    attempt_cache = dict(cache)
+                # Producers that computed but have not committed yet are
+                # not in the shared snapshot; overlay their buffered
+                # outcomes (idempotent for committed ones — commit applies
+                # the same values).
+                for producer in producers:
+                    attempt_env.update(producer.env)
+                    attempt_cache.update(producer.cache)
                 attempt_completed: set[int] = set()
                 memory_demands: list[tuple[str, float]] = []
                 pending_sniffs: list[tuple[list[Sniffer], Any, Channel]] = []
                 observations: list[OperatorObservation] = []
-                saved_meter, saved_monitor = ctx.meter, ctx.monitor
-                scratch = Monitor() if saved_monitor is not None else None
-                ctx.meter, ctx.monitor = meter, scratch
+                paid_conversions: set[tuple] = set()
+                scratch = Monitor() if monitor_present else None
+                # A fresh context per attempt: concurrent stages must not
+                # share a mutable meter/monitor pair.
+                ctx = ExecutionContext(cluster=self.cluster, meter=meter,
+                                       pgres=self.pgres, monitor=scratch,
+                                       config=dict(self.config))
                 with self.tracer.span(f"attempt{attempt}") as attempt_span:
-                    try:
-                        self._charge_stage_overheads(stage, meter, started)
-                        for task in stage.tasks:
-                            self._execute_task(
-                                task, attempt_env, ctx, attempt_cache,
-                                tracker, started, sniffer_map,
-                                parent_stage=stage, observations=observations,
-                                pending_sniffs=pending_sniffs,
-                                injector=injector, max_retries=max_retries)
-                            if task.logical_id is not None:
-                                attempt_completed.add(task.logical_id)
-                            # Within-stage outputs are pipelined; only data
-                            # materialized at a stage boundary occupies the
-                            # platform's memory.
-                            out = attempt_env[task.id]
-                            if (crossing is not None and task.id in crossing
-                                    and out.actual_count is not None
-                                    and out.descriptor.in_memory
-                                    and task.platform in self.cluster.profiles):
-                                memory_demands.append(
-                                    (task.platform, out.sim_mb))
-                    finally:
-                        ctx.meter, ctx.monitor = saved_meter, saved_monitor
+                    self._charge_stage_overheads(stage, meter, stage_started,
+                                                 startup_owners, owner_key)
+                    for task in stage.tasks:
+                        self._execute_task(
+                            task, attempt_env, ctx, attempt_cache,
+                            sniffer_map, parent_stage=stage,
+                            observations=observations,
+                            pending_sniffs=pending_sniffs,
+                            completed=attempt_completed,
+                            recorder=recorder, stage_started=stage_started,
+                            startup_owners=startup_owners,
+                            owner_key=owner_key,
+                            conversion_owners=conversion_owners,
+                            paid=paid_conversions,
+                            injector=injector, max_retries=max_retries,
+                            job_lock=job_lock)
+                        if task.logical_id is not None:
+                            attempt_completed.add(task.logical_id)
+                        # Within-stage outputs are pipelined; only data
+                        # materialized at a stage boundary occupies the
+                        # platform's memory.
+                        out = attempt_env[task.id]
+                        if (task.id in crossing
+                                and out.actual_count is not None
+                                and out.descriptor.in_memory
+                                and task.platform in self.cluster.profiles):
+                            memory_demands.append(
+                                (task.platform, out.sim_mb))
                     attempt_deps = (list(deps) if previous_attempt_id is None
                                     else [previous_attempt_id])
                     failed = (injector is not None
@@ -306,6 +545,10 @@ class Executor:
                     attempt_span.set("failed", failed)
                     attempt_span.set("sim_seconds", meter.total)
                 self.metrics.counter("executor.attempts").inc()
+                if self._stage_wall_s > 0.0:
+                    # The driver waits out the platform round trip whether
+                    # or not the attempt survives.
+                    time.sleep(self._stage_wall_s)
                 if failed:
                     if attempt >= max_retries:
                         raise PlatformFailure(label, attempt)
@@ -313,51 +556,79 @@ class Executor:
                     # critical-path charge survives.
                     self.metrics.counter("executor.retries_wasted").inc()
                     previous_attempt_id = f"{label}.attempt{attempt}"
-                    tracker.record(previous_attempt_id, attempt_deps, meter)
+                    recorder.record(previous_attempt_id, attempt_deps, meter)
                     attempt += 1
                     continue
-                # Commit: the attempt survived, so its state becomes real.
-                for platform, needed_mb in memory_demands:
-                    self.cluster.check_memory(platform, needed_mb)
-                env.update(attempt_env)
-                cache.update(attempt_cache)
-                if completed_logical is not None:
-                    completed_logical |= attempt_completed
-                if saved_monitor is not None and scratch is not None:
-                    saved_monitor.absorb(scratch)
-                for sniffers, op, out in pending_sniffs:
-                    self._sniff(sniffers, op, out, meter)
-                timing = tracker.record(label, attempt_deps, meter)
-                stage_span.set("attempts", attempt + 1)
-                stage_span.set("sim_seconds", meter.total)
-                self.metrics.counter("executor.stages").inc()
-                if monitor is not None:
-                    monitor.record_stage(timing, stage.platform, observations)
-                if self._stage_wall_s > 0.0:
-                    time.sleep(self._stage_wall_s)
-                return timing
+                return _StageOutcome(
+                    label=label, platform=stage.platform, span=stage_span,
+                    env=attempt_env, cache=attempt_cache,
+                    completed=attempt_completed, scratch=scratch,
+                    pending_sniffs=pending_sniffs,
+                    observations=observations,
+                    memory_demands=memory_demands,
+                    started=stage_started, final_deps=attempt_deps,
+                    meter=meter, attempts=attempt + 1, recorder=recorder,
+                    sim_end=recorder.end_for(attempt_deps, meter))
+
+    def _apply_outcome(self, outcome: _StageOutcome, env, cache, monitor,
+                       completed, record_via):
+        """Commit one stage's buffered outcome (the serial commit order).
+
+        ``record_via`` is the shared tracker for top-level stages (the
+        caller holds the job lock and has already replayed the stage's
+        buffered recorder) and the parent stage's recorder for loop-body
+        stages (which commit into their parent's scratch state).
+        """
+        for platform, needed_mb in outcome.memory_demands:
+            self.cluster.check_memory(platform, needed_mb)
+        env.update(outcome.env)
+        cache.update(outcome.cache)
+        if completed is not None:
+            completed |= outcome.completed
+        if monitor is not None and outcome.scratch is not None:
+            monitor.absorb(outcome.scratch)
+        for sniffers, op, out in outcome.pending_sniffs:
+            self._sniff(sniffers, op, out, outcome.meter)
+        timing = record_via.record(outcome.label, outcome.final_deps,
+                                   outcome.meter)
+        outcome.span.set("attempts", outcome.attempts)
+        outcome.span.set("sim_seconds", outcome.meter.total)
+        self.metrics.counter("executor.stages").inc()
+        if monitor is not None:
+            monitor.record_stage(timing, outcome.platform,
+                                 outcome.observations)
+        return timing
 
     # --------------------------------------------------------------- tasks
-    def _execute_task(self, task, env, ctx, cache, tracker, started,
-                      sniffer_map, parent_stage,
-                      observations: list | None = None,
-                      pending_sniffs: list | None = None,
-                      injector=None, max_retries=0) -> None:
+    def _execute_task(self, task, env, ctx, cache, sniffer_map,
+                      parent_stage, *, observations, pending_sniffs,
+                      completed, recorder, stage_started, startup_owners,
+                      owner_key, conversion_owners, paid,
+                      injector=None, max_retries=0, job_lock=None) -> None:
         op = task.operator
         if isinstance(op, LoopBodySource):
             if task.id not in env:
                 raise RuntimeError(f"loop input {task} was never primed")
             return
         inputs = [self._convert(env[ti.producer.id], ti.conversion, ctx,
-                                cache, ti.producer.id)
+                                cache, ti.producer.id,
+                                owners=conversion_owners,
+                                owner_key=owner_key, paid=paid)
                   for ti in task.inputs]
         broadcasts = [self._convert(env[ti.producer.id], ti.conversion, ctx,
-                                    cache, ti.producer.id)
+                                    cache, ti.producer.id,
+                                    owners=conversion_owners,
+                                    owner_key=owner_key, paid=paid)
                       for ti in task.broadcast_inputs]
         if isinstance(op, LoopImplementation):
-            out = self._run_loop(op, inputs, ctx, tracker, started,
-                                 parent_stage, injector=injector,
-                                 max_retries=max_retries)
+            out = self._run_loop(op, inputs, ctx, parent_stage,
+                                 recorder=recorder, sniffer_map=sniffer_map,
+                                 completed=completed,
+                                 stage_started=stage_started,
+                                 startup_owners=startup_owners,
+                                 owner_key=owner_key,
+                                 injector=injector, max_retries=max_retries,
+                                 job_lock=job_lock)
         else:
             out = op.execute(inputs, broadcasts, ctx)
             ctx.record_output(op, out)
@@ -391,32 +662,74 @@ class Executor:
                     f"sniffer[{op.name}]", category="cpu")
 
     def _convert(self, channel: Channel, path: ConversionPath, ctx,
-                 cache, producer_id: int) -> Channel:
+                 cache, producer_id: int, owners=None, owner_key=None,
+                 paid: set | None = None) -> Channel:
+        """Apply a conversion path, reusing shared cache entries.
+
+        Serially (``owners is None``) the first consumer pays on miss.
+        Under stage parallelism the precomputed *owner* always pays —
+        even when a sibling's commit already cached the step — and
+        non-owners either reuse the cache or recompute the step against
+        a throwaway meter, so simulated charges are independent of
+        commit timing.
+        """
         current = channel
         key: tuple = (producer_id,)
         for step in path.steps:
             key = key + (step.name,)
-            if key in cache:
-                current = cache[key]
-            else:
+            if owners is None:
+                if key in cache:
+                    current = cache[key]
+                else:
+                    with self.tracer.span(f"convert:{step.name}"):
+                        current = step.apply(current, ctx)
+                    self.metrics.counter("executor.conversions").inc()
+                    cache[key] = current
+                continue
+            if owners.get(key) == owner_key:
+                if paid is not None and key in paid:
+                    current = cache[key]
+                    continue
                 with self.tracer.span(f"convert:{step.name}"):
                     current = step.apply(current, ctx)
                 self.metrics.counter("executor.conversions").inc()
                 cache[key] = current
+                if paid is not None:
+                    paid.add(key)
+            elif key in cache:
+                current = cache[key]
+            else:
+                # The owner has not committed yet; rebuild the channel
+                # without charging anyone (the owner's meter carries the
+                # canonical cost).
+                current = step.apply(current, self._uncharged(ctx))
+                cache[key] = current
         return current
 
+    def _uncharged(self, ctx: ExecutionContext) -> ExecutionContext:
+        """A context whose charges and observations go nowhere."""
+        return ExecutionContext(cluster=ctx.cluster, meter=CostMeter(),
+                                pgres=ctx.pgres, monitor=None,
+                                config=ctx.config)
+
     def _charge_stage_overheads(self, stage: ExecutionStage, meter: CostMeter,
-                                started: set[str]) -> None:
+                                stage_started: set[str],
+                                startup_owners: dict[str, str],
+                                owner_key: str) -> None:
         if stage.platform == DRIVER_PLATFORM:
             return
+        # ``stage_started`` doubles as the "platforms actually started"
+        # report (ExecutionResult.platforms) and the per-stage dedup for
+        # the startup charge across retries and loop iterations.
+        first_use = stage.platform not in stage_started
+        stage_started.add(stage.platform)
         if stage.platform not in self.cluster.profiles:
             return
         profile = self.cluster.profile(stage.platform)
-        if stage.platform not in started:
+        if first_use and startup_owners.get(stage.platform) == owner_key:
             meter.charge(profile.startup_s, f"{stage.platform}.startup",
                          category="overhead")
             self.metrics.counter("executor.platform_startups").inc()
-            started.add(stage.platform)
         fraction = max((t.operator.tasks_fraction(profile)
                         for t in stage.tasks
                         if not isinstance(t.operator, LoopImplementation)),
@@ -426,11 +739,15 @@ class Executor:
 
     # --------------------------------------------------------------- loops
     def _run_loop(self, impl: LoopImplementation, inputs: list[Channel],
-                  ctx, tracker, started, parent_stage,
-                  injector=None, max_retries=0) -> Channel:
+                  ctx, parent_stage, *, recorder, sniffer_map, completed,
+                  stage_started, startup_owners, owner_key,
+                  injector=None, max_retries=0, job_lock=None) -> Channel:
         loop = impl.logical
         channels = list(inputs)
         body_stages = impl.body_plan.build_stages()
+        # Loop-body stages materialize channels at their boundaries just
+        # like top-level stages, so they face the same memory checks.
+        body_crossing = self._crossing_ids(impl.body_plan, body_stages)
         iteration = 0
         # The parent (driver) stage is recorded only after the loop ends, so
         # the first iteration chains off the loop's producer stages instead.
@@ -438,22 +755,32 @@ class Executor:
         last_tail: str | None = None
         max_iterations = (loop.iterations if isinstance(loop, RepeatLoop)
                           else loop.max_iterations)
+        lock = job_lock if job_lock is not None else threading.Lock()
         while iteration < max_iterations:
             env: dict[int, Channel] = {}
             cache: dict[tuple, Channel] = {}
             for k, task in enumerate(impl.body_input_tasks):
                 if task is not None:
                     env[task.id] = channels[k]
-            sniffer_map: dict[int, list[Sniffer]] = {}
             prefix = f"{parent_stage.id}.loop{impl.id}.it{iteration}"
             for stage in body_stages:
                 deps = [f"{prefix}.{d}" for d in sorted(stage.dependencies)]
                 deps.extend([last_tail] if last_tail is not None
                             else initial_deps)
-                self._run_stage_with_retries(
-                    stage, f"{prefix}.{stage.id}", deps, env, ctx, cache,
-                    tracker, started, sniffer_map, ctx.monitor,
-                    injector=injector, max_retries=max_retries)
+                # Body stages run serially inside the parent's attempt (on
+                # its lane) and commit into the parent's scratch state:
+                # the parent's recorder, scratch monitor and completed
+                # buffer — so a crashed parent attempt discards them too.
+                outcome = self._compute_stage(
+                    stage, f"{prefix}.{stage.id}", deps, env, cache,
+                    monitor_present=ctx.monitor is not None,
+                    sniffer_map=sniffer_map, crossing=body_crossing,
+                    recorder=recorder, stage_started=stage_started,
+                    startup_owners=startup_owners, owner_key=owner_key,
+                    conversion_owners=None, injector=injector,
+                    max_retries=max_retries, job_lock=lock)
+                self._apply_outcome(outcome, env, cache, ctx.monitor,
+                                    completed, recorder)
             if body_stages:
                 last_tail = f"{prefix}.{body_stages[-1].id}"
             loop_var = env[impl.body_plan.sink_tasks[0].id]

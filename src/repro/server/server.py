@@ -57,6 +57,11 @@ class JobServer:
         default_deadline_s: Deadline applied to jobs that do not carry one
             (``None``: no deadline).  Deadlines are measured from
             *admission*, so time spent queued counts against them.
+        stage_threads: Total intra-job stage-lane budget across every
+            worker (default ``2 * workers``).  Each job's executor caps
+            its ``stage_parallelism`` at ``stage_threads // workers``, so
+            admission control keeps bounding the real thread count even
+            when jobs run wide polystore plans concurrently.
     """
 
     def __init__(
@@ -66,12 +71,19 @@ class JobServer:
         workers: int = 4,
         queue_size: int = 16,
         default_deadline_s: float | None = None,
+        stage_threads: int | None = None,
     ) -> None:
         self.ctx = ctx if ctx is not None else RheemContext()
         self.service = RheemService(self.ctx, env)
         self.workers = max(1, int(workers))
         self.queue_size = max(0, int(queue_size))
         self.default_deadline_s = default_deadline_s
+        self.stage_threads = max(self.workers, int(
+            stage_threads if stage_threads is not None else 2 * self.workers))
+        # Executors read the cap from the shared config; an explicit
+        # user-configured cap wins.
+        self.ctx.config.setdefault("stage_parallelism_cap",
+                                   max(1, self.stage_threads // self.workers))
         self.metrics = self.ctx.metrics
         # Outermost lock of the runtime (see DESIGN.md "Lock order"):
         # guards the job table, the queued/running counters and the

@@ -113,6 +113,11 @@ class CriticalPathTracker:
         timing.meter.charge(seconds, label)
         timing.duration += seconds
 
+    def end_of(self, stage_id: str) -> float | None:
+        """End time of a recorded stage, or ``None`` if unknown."""
+        timing = self._timings.get(stage_id)
+        return None if timing is None else timing.end
+
     @property
     def makespan(self) -> float:
         """Simulated end-to-end runtime of everything recorded so far."""

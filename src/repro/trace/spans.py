@@ -14,6 +14,7 @@ an ``if tracing:`` guard.
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
@@ -80,17 +81,20 @@ class Span:
 class _SpanHandle:
     """Context manager opening one span on ``__enter__``."""
 
-    __slots__ = ("_tracer", "_name", "_attributes", "_span")
+    __slots__ = ("_tracer", "_name", "_attributes", "_span", "_parent")
 
     def __init__(self, tracer: "Tracer", name: str,
-                 attributes: dict[str, Any]) -> None:
+                 attributes: dict[str, Any],
+                 parent: Span | None = None) -> None:
         self._tracer = tracer
         self._name = name
         self._attributes = attributes
+        self._parent = parent
         self._span: Span | None = None
 
     def __enter__(self) -> Span:
-        self._span = self._tracer._open(self._name, self._attributes)
+        self._span = self._tracer._open(self._name, self._attributes,
+                                        parent=self._parent)
         return self._span
 
     def __exit__(self, *exc_info: Any) -> None:
@@ -101,6 +105,12 @@ class _SpanHandle:
 class Tracer:
     """Records a tree of spans against a monotonic wall clock.
 
+    The span stack is thread-local, so worker threads (the executor's
+    stage lanes) can nest spans independently; the span *tree* itself is
+    shared and guarded by a lock.  :meth:`span_under` opens a span with
+    an explicit parent, which is how a worker thread attaches its stage
+    span under the driver's ``executor.run`` span.
+
     Args:
         clock: Monotonic time source (injectable for deterministic tests).
     """
@@ -110,36 +120,59 @@ class Tracer:
     def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self._clock = clock
         self._epoch = clock()
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self.roots: list[Span] = []
 
     def _now(self) -> float:
         return self._clock() - self._epoch
 
+    def _thread_stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
     def span(self, name: str, **attributes: Any) -> _SpanHandle:
         """Open a child span of the current span for a ``with`` block."""
         return _SpanHandle(self, name, attributes)
 
-    def _open(self, name: str, attributes: dict[str, Any]) -> Span:
-        parent = self._stack[-1] if self._stack else None
-        span = Span(name, next(self._ids),
-                    parent.span_id if parent is not None else None,
-                    self._now(), attributes=dict(attributes))
-        (parent.children if parent is not None else self.roots).append(span)
-        self._stack.append(span)
+    def span_under(self, parent: Span | None, name: str,
+                   **attributes: Any) -> _SpanHandle:
+        """Open a span under an *explicit* parent (cross-thread nesting).
+
+        The new span still pushes onto the calling thread's stack, so
+        further plain :meth:`span` calls on that thread nest beneath it.
+        A ``None`` parent falls back to the thread's current span.
+        """
+        return _SpanHandle(self, name, attributes, parent=parent)
+
+    def _open(self, name: str, attributes: dict[str, Any],
+              parent: Span | None = None) -> Span:
+        stack = self._thread_stack()
+        if parent is None:
+            parent = stack[-1] if stack else None
+        with self._lock:
+            span = Span(name, next(self._ids),
+                        parent.span_id if parent is not None else None,
+                        self._now(), attributes=dict(attributes))
+            (parent.children if parent is not None else self.roots).append(span)
+        stack.append(span)
         return span
 
     def _close(self, span: Span) -> None:
         span.end = self._now()
-        while self._stack and self._stack[-1] is not span:
-            self._stack.pop()  # orphaned children of an escaped exception
-        if self._stack:
-            self._stack.pop()
+        stack = self._thread_stack()
+        while stack and stack[-1] is not span:
+            stack.pop()  # orphaned children of an escaped exception
+        if stack:
+            stack.pop()
 
     def current(self) -> Span | None:
-        """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The innermost open span on the calling thread, if any."""
+        stack = self._thread_stack()
+        return stack[-1] if stack else None
 
     def walk(self) -> Iterator[Span]:
         """Pre-order traversal over every recorded span."""
@@ -179,6 +212,10 @@ class NullTracer:
     roots: list[Span] = []
 
     def span(self, name: str, **attributes: Any) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def span_under(self, parent: Span | None, name: str,
+                   **attributes: Any) -> _NullHandle:
         return _NULL_HANDLE
 
     def current(self) -> Span | None:

@@ -1,0 +1,439 @@
+"""Concurrent stage scheduler: parallel/serial equivalence + loop fixes.
+
+The scheduler overlaps independent stages' wall-clock work while
+committing in stage-list order, so every observable effect of a job —
+outputs, monitor contents, sniffer delivery, the simulated critical
+path — must be bit-for-bit identical between ``stage_parallelism=1``
+and any wider setting.  These tests pin that contract, the scheduler's
+failure/cancellation semantics, and the loop-body regression fixes that
+rode along (sniffer maps, ``crossing``/``completed_logical`` threading).
+"""
+
+import re
+import threading
+import time
+
+import pytest
+
+from repro import RheemContext
+from repro.core.executor import Sniffer
+from repro.core.faults import FaultInjector, PlatformFailure
+from repro.core.scheduler import StageScheduler
+from conftest import wordcount
+
+
+class _FakeStage:
+    def __init__(self, stage_id):
+        self.id = stage_id
+
+
+def _norm(stage_id):
+    """Loop-implementation ids are global counters that differ between
+    separately built plans; the stage structure is what must match."""
+    return re.sub(r"\.loop\d+\.", ".loop.", stage_id)
+
+
+def _fingerprint(result):
+    """Everything that must match bit-for-bit between parallelism levels."""
+    return {
+        "outputs": result.outputs,
+        "makespan": result.runtime,
+        "stage_count": result.stage_count,
+        "platforms": sorted(result.platforms),
+        "timings": sorted((_norm(t.stage_id), t.start, t.duration)
+                          for t in result.tracker.timings()),
+        "observations": [(_norm(o.stage_id), o.platform, o.duration_s,
+                          o.known_seconds, o.operators)
+                         for o in result.monitor.stage_observations],
+        "stage_timeline": [(_norm(t.stage_id), t.start, t.duration)
+                           for t in result.monitor.stage_timings],
+        "actual_cardinalities": sorted(result.monitor.actuals.values()),
+    }
+
+
+def _executor_counters(ctx):
+    counters = ctx.metrics.snapshot()["counters"]
+    return {name: value for name, value in counters.items()
+            if name.startswith("executor.")}
+
+
+# --------------------------------------------------------------- scheduler
+class TestStageScheduler:
+    def test_commits_follow_list_order_despite_compute_skew(self):
+        stages = [_FakeStage(f"s{i}") for i in range(6)]
+        deps = {"s5": ["s3"], "s3": ["s0"]}
+        committed = []
+
+        def compute(index, stage, lane, producers):
+            # Earlier stages take *longer*, so commit order only matches
+            # list order if the scheduler enforces it.
+            time.sleep(0.03 - 0.005 * index)
+            return f"out-{stage.id}"
+
+        def commit(index, stage, outcome):
+            assert outcome == f"out-{stage.id}"
+            committed.append(stage.id)
+
+        StageScheduler(stages, deps, parallelism=4, compute=compute,
+                       commit=commit).run()
+        assert committed == [s.id for s in stages]
+
+    def test_dependency_blocks_dispatch_until_producer_computes(self):
+        stages = [_FakeStage("a"), _FakeStage("b")]
+        a_computed = threading.Event()
+        computed = []
+        committed = []
+
+        def compute(index, stage, lane, producers):
+            if stage.id == "b":
+                assert a_computed.is_set(), "b dispatched before a computed"
+                # The producer's buffered outcome travels with dispatch.
+                assert producers == ["out-a"]
+            computed.append(stage.id)
+            if stage.id == "a":
+                a_computed.set()
+            return f"out-{stage.id}"
+
+        StageScheduler(stages, {"b": ["a"]}, parallelism=4,
+                       compute=compute,
+                       commit=lambda i, s, o: committed.append(s.id)).run()
+        assert computed == ["a", "b"]
+        assert committed == ["a", "b"]
+
+    def test_failure_cancels_undispatched_dependents_and_drains(self):
+        stages = [_FakeStage("a"), _FakeStage("b"), _FakeStage("c")]
+        computed = []
+
+        def compute(index, stage, lane, producers):
+            if stage.id == "a":
+                raise PlatformFailure("a", 0)
+            time.sleep(0.02)  # b is in flight while a fails
+            computed.append(stage.id)
+            return None
+
+        committed = []
+        with pytest.raises(PlatformFailure):
+            StageScheduler(stages, {"c": ["a"]}, parallelism=2,
+                           compute=compute,
+                           commit=lambda i, s, o: committed.append(s.id)
+                           ).run()
+        # b (independent, already dispatched) drained; c (dependent,
+        # never ready) was cancelled; nothing committed.
+        assert computed == ["b"]
+        assert committed == []
+
+    def test_serial_mode_runs_inline_on_the_caller_thread(self):
+        stages = [_FakeStage("a"), _FakeStage("b")]
+        threads = set()
+        lanes = set()
+
+        def compute(index, stage, lane, producers):
+            threads.add(threading.current_thread())
+            lanes.add(lane)
+            return None
+
+        StageScheduler(stages, {}, parallelism=1, compute=compute,
+                       commit=lambda i, s, o: None).run()
+        assert threads == {threading.main_thread()}
+        assert lanes == {0}
+
+    def test_gauges_track_inflight_and_settle_to_zero(self):
+        from repro.trace import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        peak = []
+
+        def compute(index, stage, lane, producers):
+            peak.append(metrics.gauge("executor.inflight_stages").value)
+            time.sleep(0.02)
+            return None
+
+        StageScheduler([_FakeStage(f"s{i}") for i in range(4)], {},
+                       parallelism=4, compute=compute,
+                       commit=lambda i, s, o: None, metrics=metrics).run()
+        gauges = metrics.snapshot()["gauges"]
+        assert gauges["executor.ready_stages"] == 0
+        assert gauges["executor.inflight_stages"] == 0
+        assert max(peak) >= 2  # stages genuinely overlapped
+
+
+# ------------------------------------------------- parallel == serial (S5)
+class TestParallelSerialEquivalence:
+    def _run_q5(self, parallelism):
+        from repro.apps.dataciv import q5_quanta
+        from repro.workloads.tpch import TpchLite
+
+        ctx = RheemContext()
+        ctx.config["stage_parallelism"] = parallelism
+        TpchLite(0.01).place_for_q5(ctx)
+        result = q5_quanta(ctx, 0.01, placement="polystore").execute()
+        return result, _executor_counters(ctx)
+
+    def test_tpch_q5_polystore_bit_for_bit(self):
+        serial, serial_counters = self._run_q5(1)
+        wide, wide_counters = self._run_q5(8)
+        assert _fingerprint(wide) == _fingerprint(serial)
+        assert wide_counters == serial_counters
+
+    def _run_do_while(self, parallelism):
+        ctx = RheemContext()
+        ctx.config["stage_parallelism"] = parallelism
+        data = ctx.load_collection([1, 2, 3], sim_factor=5_000.0).cache()
+        seed = ctx.load_collection([0])
+        out = seed.do_while(
+            lambda values: values[0] < 6,
+            lambda s, inv: s.map(lambda v: v + 1)
+            .union(inv.filter(lambda v: False)).reduce(lambda a, b: a + b),
+            invariants=[data], max_iterations=50)
+        return out.execute(), _executor_counters(ctx)
+
+    def test_do_while_loop_plan_bit_for_bit(self):
+        serial, serial_counters = self._run_do_while(1)
+        wide, wide_counters = self._run_do_while(8)
+        assert serial.output == [6]
+        assert _fingerprint(wide) == _fingerprint(serial)
+        assert wide_counters == serial_counters
+
+    def _run_faulty(self, parallelism):
+        probe = RheemContext()
+        probe.vfs.write("hdfs://sp/l.txt", ["a b", "b"], sim_factor=1000.0)
+        plan = wordcount(probe, "hdfs://sp/l.txt").to_plan()
+        optimizer = probe.optimizer()
+        best, __ = optimizer.pick_best(plan)
+        stage_id = optimizer._build_execution_plan(
+            plan, best).build_stages()[0].id
+
+        ctx = RheemContext()
+        ctx.config["stage_parallelism"] = parallelism
+        ctx.vfs.write("hdfs://sp/l.txt", ["a b", "b"], sim_factor=1000.0)
+        injector = FaultInjector(failures={stage_id: 2})
+        result = wordcount(ctx, "hdfs://sp/l.txt").execute(
+            fault_injector=injector, max_stage_retries=2)
+        assert injector.injected == 2
+        return result, _executor_counters(ctx)
+
+    def test_fault_injected_run_bit_for_bit(self):
+        serial, serial_counters = self._run_faulty(1)
+        wide, wide_counters = self._run_faulty(8)
+        assert dict(serial.output) == {"a": 1, "b": 2}
+        assert _fingerprint(wide) == _fingerprint(serial)
+        assert wide_counters == serial_counters
+
+
+# ------------------------------------------------------ tentpole behaviour
+class TestWallClockParallelism:
+    def _wide_plan(self, ctx):
+        branches = []
+        for i, platform in enumerate(
+                ["pystreams", "sparklite", "flinklite", "pystreams"]):
+            branch = (ctx.load_collection(list(range(20)),
+                                          sim_factor=2_000.0)
+                      .map(lambda x: x).with_target_platform(platform))
+            branches.append(branch)
+        merged = branches[0]
+        for branch in branches[1:]:
+            merged = merged.union(branch)
+        return merged
+
+    def _run(self, ctx, parallelism, dwell):
+        ctx.config["stage_wall_s"] = dwell
+        ctx.config["stage_parallelism"] = parallelism
+        start = time.perf_counter()
+        result = self._wide_plan(ctx).execute()
+        return result, time.perf_counter() - start
+
+    def test_dwell_overlaps_across_lanes(self):
+        serial, serial_wall = self._run(RheemContext(), 1, dwell=0.05)
+        wide, wide_wall = self._run(RheemContext(), 4, dwell=0.05)
+        assert _fingerprint(wide) == _fingerprint(serial)
+        # Stage count is ~8+ here; four lanes must beat serial clearly
+        # even on a noisy CI box.
+        assert wide_wall < serial_wall * 0.75
+
+    def test_stage_spans_carry_lanes(self):
+        ctx = RheemContext()
+        ctx.config["stage_parallelism"] = 4
+        tracer = ctx.enable_tracing()
+        self._wide_plan(ctx).execute()
+        lanes = {span.attributes["lane"] for span in tracer.walk()
+                 if span.name.startswith("stage:")
+                 and "lane" in span.attributes}
+        assert len(lanes) >= 2  # true concurrency, not one lane reused
+        run_span = tracer.find("executor.run")[0]
+        assert run_span.attributes["parallelism"] == 4
+
+    def test_chrome_trace_spreads_lanes_over_tids(self):
+        from repro.trace.export import chrome_trace
+
+        ctx = RheemContext()
+        ctx.config["stage_parallelism"] = 4
+        tracer = ctx.enable_tracing()
+        self._wide_plan(ctx).execute()
+        doc = chrome_trace(tracer, [])
+        tids = {e["tid"] for e in doc["traceEvents"]
+                if e.get("ph") == "X" and e["name"].startswith("stage:")}
+        assert len(tids) >= 2
+
+    def test_default_parallelism_is_platform_count(self):
+        ctx = RheemContext()
+        tracer = ctx.enable_tracing()
+        self._wide_plan(ctx).execute()
+        run_span = tracer.find("executor.run")[0]
+        assert run_span.attributes["parallelism"] >= 2
+
+    def test_server_budget_caps_lanes(self):
+        from repro.server import JobServer
+
+        server = JobServer(workers=4, queue_size=4, stage_threads=4)
+        try:
+            assert server.ctx.config["stage_parallelism_cap"] == 1
+            doc = {
+                "operators": [
+                    {"name": "src", "kind": "collection_source",
+                     "data": [1, 2, 3]},
+                    {"name": "inc", "kind": "map", "input": "src",
+                     "expr": "x + 1"},
+                ],
+                "sink": {"name": "inc"},
+            }
+            job = server.submit(doc)
+            response = server.result(job.job_id)
+            assert response["status"] == "ok"
+            assert response["output"] == [2, 3, 4]
+        finally:
+            server.shutdown()
+
+    def test_parallelize_stages_false_stays_serial(self, ctx):
+        # The paper's baseline switch: chained dependencies and one lane.
+        ctx.config["stage_parallelism"] = 8
+        a = ctx.load_collection(list(range(50)), sim_factor=1e5).map(
+            lambda x: x)
+        plan = a.union(
+            ctx.load_collection(list(range(50)), sim_factor=1e5).map(
+                lambda x: x)).to_plan()
+        optimizer = ctx.optimizer({"pystreams", "driver"})
+        best, cards = optimizer.pick_best(plan)
+        exec_plan = optimizer._build_execution_plan(plan, best)
+        res = ctx.executor().execute(exec_plan, estimates=cards,
+                                     parallelize_stages=False)
+        assert res.runtime == pytest.approx(res.tracker.busy_time)
+
+
+# ------------------------------------------------------- loop fixes S1/S2
+class TestLoopBodyFixes:
+    def test_sniffer_inside_repeat_loop_fires_per_iteration(self, ctx):
+        """S1: sniffers on loop-body operators must observe every
+        iteration (the loop used to swallow the sniffer map)."""
+        data = ctx.load_collection([1, 2]).cache()
+        seed = ctx.load_collection([0])
+        body_ids = []
+
+        def body(s, inv):
+            stepped = s.map(lambda v: v + 1)
+            body_ids.append(stepped.op.id)
+            return stepped
+
+        out = seed.repeat(3, body, invariants=[data])
+        tapped = []
+        result = out.execute(sniffers=[Sniffer(body_ids[0], tapped.append)])
+        assert result.output == [3]
+        assert tapped == [[1], [2], [3]]
+
+    def test_sniffed_loop_costs_more_than_plain(self, ctx):
+        """The in-loop sniffer's multiplexing cost lands on the body
+        stages' meters, so the makespan grows."""
+
+        def run(sniffers):
+            run_ctx = RheemContext()
+            data = run_ctx.load_collection(
+                list(range(100)), sim_factor=50_000.0).cache()
+            seed = run_ctx.load_collection([0])
+            ids = []
+
+            def body(s, inv):
+                stepped = s.map(lambda v: v + 1)
+                ids.append(stepped.op.id)
+                return stepped
+
+            out = seed.repeat(4, body, invariants=[data])
+            taps = ([Sniffer(ids[0], lambda _: None, cost_factor=5000.0)]
+                    if sniffers else [])
+            return out.execute(sniffers=taps).runtime
+
+        assert run(sniffers=True) > run(sniffers=False)
+
+    def test_loop_body_memory_checks_scale_with_iterations(self, ctx):
+        """S2: channels materialized at loop-body stage boundaries hit
+        ``cluster.check_memory`` — once per iteration, so the call count
+        grows with the iteration count (it used to stay flat)."""
+
+        def count_checks(iterations):
+            run_ctx = RheemContext()
+            calls = []
+            real = run_ctx.cluster.check_memory
+            run_ctx.cluster.check_memory = (
+                lambda platform, mb: (calls.append(platform),
+                                      real(platform, mb))[1])
+            data = run_ctx.load_collection([1, 2]).cache()
+            seed = run_ctx.load_collection([0])
+            out = seed.repeat(iterations,
+                              lambda s, inv: s.map(lambda v: v + 1),
+                              invariants=[data])
+            assert out.collect() == [iterations]
+            return len(calls)
+
+        assert count_checks(6) > count_checks(2)
+
+    def test_loop_body_ops_reach_completed_logical(self, ctx):
+        """S2: loop-body logical operators show up in the completed set a
+        checkpoint receives once their loop stage commits."""
+        data = ctx.load_collection([1, 2]).cache()
+        seed = ctx.load_collection([0])
+        body_ids = []
+
+        def body(s, inv):
+            stepped = s.map(lambda v: v + 1)
+            body_ids.append(stepped.op.id)
+            return stepped
+
+        out = seed.repeat(2, body, invariants=[data]).map(lambda v: v * 10)
+        plan = out.to_plan()
+        optimizer = ctx.optimizer()
+        best, cards = optimizer.pick_best(plan)
+        exec_plan = optimizer._build_execution_plan(plan, best)
+        seen = []
+        result = ctx.executor().execute(
+            exec_plan, estimates=cards,
+            checkpoint=lambda monitor, completed: (seen.append(completed),
+                                                   False)[1])
+        assert result.output == [20]
+        union = set().union(*seen) if seen else set()
+        assert body_ids[0] in union
+
+
+# --------------------------------------------------------------------- S4
+class TestStartedPlatformReporting:
+    def test_platforms_reports_what_actually_started(self, ctx):
+        tapped = wordcount(ctx, "hdfs://s4/l.txt")
+        ctx.vfs.write("hdfs://s4/l.txt", ["a b"], sim_factor=10.0)
+        result = tapped.execute()
+        timeline_platforms = {o.platform
+                              for o in result.monitor.stage_observations
+                              if o.platform != "driver"}
+        assert result.platforms == timeline_platforms
+
+    def test_resumed_job_keeps_previously_started_platforms(self, ctx):
+        """A paused-then-resumed job must report the platforms started
+        before the pause, not just the residual plan's platforms (the
+        old code re-derived them from ``plan.platforms()``)."""
+        ctx.vfs.write("hdfs://s4/r.txt", ["a b", "b"], sim_factor=10.0)
+        plan = wordcount(ctx, "hdfs://s4/r.txt").to_plan()
+        optimizer = ctx.optimizer()
+        best, cards = optimizer.pick_best(plan)
+        exec_plan = optimizer._build_execution_plan(plan, best)
+        pre_started = {"already-started-platform"}
+        result = ctx.executor().execute(exec_plan, estimates=cards,
+                                        started_platforms=pre_started)
+        assert "already-started-platform" in result.platforms
+        assert result.platforms - {"already-started-platform"} <= \
+            exec_plan.platforms()
