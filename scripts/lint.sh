@@ -24,11 +24,18 @@ fi
 
 if command -v mypy >/dev/null 2>&1; then
     echo "==> mypy (strict: repro.analysis, repro.trace, repro.core," \
-         "repro.server)"
+         "repro.server, repro.concurrency)"
     mypy || failures=$((failures + 1))
 else
     echo "==> mypy not installed; SKIPPED (pip install -e .[lint])"
 fi
+
+# Always runs (it only needs the stdlib + the repo): the lock-registry
+# checker over src/repro/ — rank inversions, undeclared locks, blocking
+# calls under a lock, unguarded writes to registry-declared attributes.
+echo "==> concurrency lint (lock registry)"
+PYTHONPATH=src python -m repro lint --concurrency \
+    || failures=$((failures + 1))
 
 if [ "${1:-}" != "--fast" ]; then
     echo "==> plan lint over examples/"

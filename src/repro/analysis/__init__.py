@@ -32,6 +32,9 @@ __all__ = [
     "UdfReport",
     "LintCollector",
     "collecting",
+    "ConcurrencyFinding",
+    "check_package",
+    "check_source",
 ]
 
 _LAZY = {
@@ -47,6 +50,9 @@ _LAZY = {
     "UdfReport": ("udfs", "UdfReport"),
     "LintCollector": ("collector", "LintCollector"),
     "collecting": ("collector", "collecting"),
+    "ConcurrencyFinding": ("locks", "ConcurrencyFinding"),
+    "check_package": ("locks", "check_package"),
+    "check_source": ("locks", "check_source"),
 }
 
 

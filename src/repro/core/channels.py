@@ -30,9 +30,10 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-import threading
 from dataclasses import dataclass
 from typing import Any, Callable, TYPE_CHECKING
+
+from ..concurrency import OrderedRLock
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..trace import MetricsRegistry
@@ -240,9 +241,9 @@ class ChannelConversionGraph:
 
     The graph (edges + memo tables) is shared read-mostly across the job
     server's worker threads; one re-entrant lock serializes registration,
-    invalidation and memo-table fills.  In the documented lock order
-    (``DESIGN.md``) this lock sits above the metrics lock (``_stat``
-    mirrors counters while holding it) and must never be held while
+    invalidation and memo-table fills.  Rank 40 in the lock registry
+    (:data:`repro.concurrency.order.LOCK_ORDER`): above the metrics lock
+    (``_stat`` mirrors counters while holding it), never held while
     calling into the plan cache or the server's job table.
 
     Args:
@@ -271,7 +272,7 @@ class ChannelConversionGraph:
         # (source, targets, rec_band, bpr_band) -> {target: tuple[Conversion]}
         self._tree_cache: dict[tuple, dict[str, tuple[Conversion, ...]]] = {}
         #: Serializes registration and memo-table mutation (see class doc).
-        self._lock = threading.RLock()
+        self._lock = OrderedRLock("conversion_graph", metrics)
         self.register_channel(HDFS_FILE)
         self.register_channel(LOCAL_FILE)
 

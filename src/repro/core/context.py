@@ -18,9 +18,9 @@ operators (:mod:`repro.core.operators`) or through the fluent API::
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Callable, Iterable, Sequence
 
+from ..concurrency import OrderedLock
 from ..platforms import builtin_platforms
 from ..platforms.pgres.engine import PgresDatabase
 from ..simulation.cluster import VirtualCluster
@@ -85,8 +85,9 @@ class RheemContext:
             metrics=self.metrics)
         self.plan_cache.enabled = bool(self.config.get("plan_cache", True))
         # Serializes cost-model publication (atomic swap + cache flush);
-        # sits above the plan-cache lock in the documented lock order.
-        self._publish_lock = threading.Lock()
+        # rank 20 in the lock registry, above the plan-cache lock it
+        # flushes under (repro.concurrency.order).
+        self._publish_lock = OrderedLock("context.publish", self.metrics)
 
     def enable_tracing(self) -> Tracer:
         """Install (and return) a recording tracer on this context."""

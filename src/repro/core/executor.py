@@ -22,11 +22,11 @@ The executor also implements:
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from ..concurrency import OrderedLock
 from ..simulation.clock import CostMeter, CriticalPathTracker
 from ..simulation.cluster import VirtualCluster
 from ..trace import NO_TRACER, MetricsRegistry
@@ -131,7 +131,7 @@ class _StageRecorder:
 
     __slots__ = ("_base", "_lock", "_local", "_records")
 
-    def __init__(self, base: CriticalPathTracker, lock: threading.Lock) -> None:
+    def __init__(self, base: CriticalPathTracker, lock: OrderedLock) -> None:
         self._base = base
         self._lock = lock
         self._local: dict[str, float] = {}
@@ -318,7 +318,7 @@ class Executor:
         startup_owners = self._startup_owners(stages, started)
         conversion_owners = (self._conversion_owners(stages)
                              if parallelism > 1 else None)
-        job_lock = threading.Lock()
+        job_lock = OrderedLock("executor.job", self.metrics)
 
         with self.tracer.span("executor.run", stages=len(stages),
                               parallelism=parallelism) as run_span:
@@ -755,7 +755,8 @@ class Executor:
         last_tail: str | None = None
         max_iterations = (loop.iterations if isinstance(loop, RepeatLoop)
                           else loop.max_iterations)
-        lock = job_lock if job_lock is not None else threading.Lock()
+        lock = (job_lock if job_lock is not None
+                else OrderedLock("executor.job", self.metrics))
         while iteration < max_iterations:
             env: dict[int, Channel] = {}
             cache: dict[tuple, Channel] = {}

@@ -29,10 +29,10 @@ Entries are LRU-bounded.  Hit/miss/eviction/flush counts feed the shared
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any
 
+from ..concurrency import OrderedRLock
 from .channels import volume_band
 
 if TYPE_CHECKING:
@@ -52,11 +52,10 @@ class ExecutionPlanCache:
     replays both together (the executor's monitor consumes them).
 
     The cache is shared by every worker thread of the job server, so all
-    entry/stat mutation happens under one re-entrant lock.  In the
-    documented lock order (``DESIGN.md``) this lock sits *above* the
-    metrics lock — ``_stat`` increments a counter while holding it — and
-    below the server's job-table lock; it must never be held while calling
-    into the conversion graph.
+    entry/stat mutation happens under one re-entrant lock (rank 30 in
+    the lock registry, :data:`repro.concurrency.order.LOCK_ORDER`): above
+    the metrics lock, below the server's job-table lock, and never held
+    while calling into the conversion graph.
     """
 
     def __init__(self, capacity: int = 64,
@@ -66,7 +65,7 @@ class ExecutionPlanCache:
         self.enabled = True
         self.stats: dict[str, int] = dict.fromkeys(PLAN_CACHE_STAT_NAMES, 0)
         self._entries: OrderedDict[tuple, tuple] = OrderedDict()
-        self._lock = threading.RLock()
+        self._lock = OrderedRLock("plan_cache", metrics)
 
     def __len__(self) -> int:
         with self._lock:

@@ -39,6 +39,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from ..concurrency import OrderedLock
 from ..trace import MetricsRegistry
 
 
@@ -130,7 +131,7 @@ class StageScheduler:
             self._release(ready, index)
 
     def _run_parallel(self) -> None:
-        lock = threading.Lock()
+        lock = OrderedLock("scheduler.dispatch", self.metrics)
         ready = [i for i, pending in enumerate(self._pending) if not pending]
         heapq.heapify(ready)
         lanes = list(range(self.parallelism))
@@ -141,20 +142,28 @@ class StageScheduler:
         errors: dict[int, BaseException] = {}
         done = [threading.Event() for _ in self.stages]
 
-        def dispatch_locked() -> None:
+        def dispatch_locked() -> list[tuple[int, int, list[Any]]]:
             # Caller holds ``lock``.  Lowest ready index first, lowest
             # free lane first — deterministic lane assignment for traces.
             # A stage only becomes ready once every producer computed, so
-            # their outcomes are present here.
+            # their outcomes are present here.  Only the *decisions* are
+            # made under the lock; the caller submits the returned batch
+            # to the pool after releasing it, so the dispatch lock is
+            # never held across an executor call.
             nonlocal inflight
+            batch: list[tuple[int, int, list[Any]]] = []
             while not stop and ready and inflight < self.parallelism:
                 index = heapq.heappop(ready)
                 lane = heapq.heappop(lanes)
                 inflight += 1
-                self._set_gauges(len(ready), inflight)
-                pool.submit(worker, index, lane,
-                            [outcomes[d] for d in self._deps[index]])
+                batch.append((index, lane,
+                              [outcomes[d] for d in self._deps[index]]))
             self._set_gauges(len(ready), inflight)
+            return batch
+
+        def submit_batch(batch: list[tuple[int, int, list[Any]]]) -> None:
+            for index, lane, producers in batch:
+                pool.submit(worker, index, lane, producers)
 
         def worker(index: int, lane: int, producers: list[Any]) -> None:
             nonlocal inflight
@@ -174,14 +183,16 @@ class StageScheduler:
                     # Computing (not committing) is what makes dependents
                     # runnable: their computes overlay this outcome.
                     self._release(ready, index)
-                dispatch_locked()
+                batch = dispatch_locked()
+            submit_batch(batch)
             done[index].set()
 
         with ThreadPoolExecutor(max_workers=self.parallelism,
                                 thread_name_prefix="stage-lane") as pool:
             try:
                 with lock:
-                    dispatch_locked()
+                    batch = dispatch_locked()
+                submit_batch(batch)
                 for index in range(len(self.stages)):
                     done[index].wait()
                     if index in errors:

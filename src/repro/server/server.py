@@ -19,12 +19,12 @@ Shared-vs-isolated split (see ``DESIGN.md`` for the lock order):
 from __future__ import annotations
 
 import itertools
-import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any
 
 from ..api.service import RheemService
+from ..concurrency import OrderedLock
 from ..core.context import RheemContext
 from ..core.executor import JobCancelled
 from ..trace import Tracer
@@ -85,10 +85,11 @@ class JobServer:
         self.ctx.config.setdefault("stage_parallelism_cap",
                                    max(1, self.stage_threads // self.workers))
         self.metrics = self.ctx.metrics
-        # Outermost lock of the runtime (see DESIGN.md "Lock order"):
-        # guards the job table, the queued/running counters and the
-        # accepting flag.  Never held while a job executes.
-        self._lock = threading.Lock()
+        # Outermost lock of the runtime (rank 10 in the registry —
+        # repro.concurrency.order): guards the job table, the
+        # queued/running counters and the accepting flag.  Never held
+        # while a job executes.
+        self._lock = OrderedLock("server.jobs", self.metrics)
         self._jobs: dict[str, Job] = {}
         self._futures: dict[str, Future[None]] = {}
         self._queued = 0
@@ -133,6 +134,10 @@ class JobServer:
             self._jobs[job_id] = job
             self._queued += 1
             self._update_gauges_locked()
+            # Pool.submit is a non-blocking enqueue; keeping it atomic
+            # with admission keeps shutdown's _futures snapshot exact (a
+            # cancelled job can never miss the table).
+            # lock-ok: non-blocking enqueue, must stay atomic w/ admission
             self._futures[job_id] = self._pool.submit(self._run, job)
         self.metrics.counter("server.jobs.submitted").inc()
         return job

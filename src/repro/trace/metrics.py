@@ -16,14 +16,15 @@ acquire another lock while holding it, which makes it always safe to take.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Any
+
+from ..concurrency.runtime import OrderedLock
 
 #: Guards every instrument mutation and the registry's instrument tables.
 #: Innermost lock in the documented lock order: never acquire any other
 #: lock while holding it.
-_METRICS_LOCK = threading.Lock()
+_METRICS_LOCK = OrderedLock("metrics")
 
 
 @dataclass

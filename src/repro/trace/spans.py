@@ -19,6 +19,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
+from ..concurrency.runtime import OrderedLock
+
 
 @dataclass
 class Span:
@@ -121,7 +123,7 @@ class Tracer:
         self._clock = clock
         self._epoch = clock()
         self._local = threading.local()
-        self._lock = threading.Lock()
+        self._lock = OrderedLock("tracer.spans")
         self._ids = itertools.count(1)
         self.roots: list[Span] = []
 

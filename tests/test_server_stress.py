@@ -17,7 +17,9 @@ Three properties are asserted over an 8-worker x 40-job mixed run:
 The CI ``stress`` job runs this file with ``PYTHONHASHSEED`` pinned.
 """
 
+import faulthandler
 import json
+import os
 import sys
 
 import pytest
@@ -28,6 +30,26 @@ from repro.server import JobServer, JobState
 
 WORKERS = 8
 JOBS = 40
+
+#: Per-test deadlock watchdog budget (seconds).  Generous — the whole
+#: module runs in well under a minute — so it only ever fires on a hang.
+WATCHDOG_S = float(os.environ.get("REPRO_STRESS_WATCHDOG_S", "120"))
+
+
+@pytest.fixture(autouse=True)
+def _deadlock_watchdog():
+    """Dump every thread's stack if a test wedges, instead of letting CI
+    time the whole job out silently.
+
+    ``faulthandler.dump_traceback_later`` fires from a watchdog thread
+    after ``WATCHDOG_S`` seconds with ``exit=True``: the process dies
+    with all stacks on stderr, which is exactly the evidence a deadlock
+    post-mortem needs.  Each test re-arms the timer; finishing cancels
+    it.
+    """
+    faulthandler.dump_traceback_later(WATCHDOG_S, exit=True)
+    yield
+    faulthandler.cancel_dump_traceback_later()
 
 
 @pytest.fixture(autouse=True)
