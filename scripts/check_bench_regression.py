@@ -2,13 +2,15 @@
 """Compare fresh benchmark numbers against the committed baselines.
 
 The CI ``benchmarks`` job re-runs ``scripts/bench_optimizer_cache.py``,
-``scripts/bench_concurrency.py`` and ``scripts/bench_stage_parallelism.py``
-into a scratch directory, then calls this script to compare the fresh
-reports against the ``BENCH_*.json`` files committed at the repository
-root.  Only *ratio* metrics are gated — warm-cache speedup, concurrency
-throughput scaling and intra-job stage-parallel speedup — because
-absolute timings vary with the runner hardware while ratios are
-self-normalizing; absolute numbers are printed for context.
+``scripts/bench_concurrency.py``, ``scripts/bench_stage_parallelism.py``
+and ``scripts/bench_batch_throughput.py`` into a scratch directory, then
+calls this script to compare the fresh reports against the
+``BENCH_*.json`` files committed at the repository root.  Only *ratio*
+metrics are gated — warm-cache speedup, concurrency throughput scaling,
+intra-job stage-parallel speedup and the vectorized-engine record-
+throughput speedups — because absolute timings vary with the runner
+hardware while ratios are self-normalizing; absolute numbers are printed
+for context.
 
 A metric regresses when ``fresh < baseline * (1 - tolerance)``; the
 tolerance defaults to 0.25 (25%) and can be overridden via the
@@ -48,6 +50,12 @@ GATED_METRICS: list[tuple[str, str, tuple[str, ...]]] = [
     ("BENCH_stage_parallelism.json",
      "stage-parallel wall speedup (4 lanes vs serial)",
      ("speedup_4v1",)),
+    ("BENCH_batch_throughput.json",
+     "batch record-throughput speedup (tpch_q5, engine-bound)",
+     ("variants", "q5_engine", "speedup")),
+    ("BENCH_batch_throughput.json",
+     "batch end-to-end speedup (tpch_q5, polystore)",
+     ("variants", "q5_polystore_end_to_end", "speedup")),
 ]
 
 #: Printed for context, never gated (absolute, hardware-dependent).

@@ -19,6 +19,11 @@ RC003     a declared lock held across a potentially blocking call
           ``Queue.get``-style ``wait``, ``sleep``)
 RC004     a write to a registry-guarded shared attribute outside its
           guarding lock
+RC005     mutable instance state written inside an execution hot path
+          (``execute``/``_run`` of an ``ExecutionOperator`` subclass):
+          cached plans share operator instances across loop iterations
+          and concurrently executing jobs, so per-run values must be
+          threaded through the call, not stored on ``self``
 ========  ==========================================================
 
 The pass is deliberately conservative where Python's dynamism defeats
@@ -63,10 +68,16 @@ _RAW_PRIMITIVES = frozenset(
     {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
      "Barrier"})
 
-#: Method names that mutate their receiver in place (RC004).
+#: Method names that mutate their receiver in place (RC004, RC005).
 _MUTATORS = frozenset(
     {"append", "add", "clear", "update", "pop", "popitem", "setdefault",
      "move_to_end", "remove", "discard", "extend", "insert"})
+
+#: Methods that run per-execution on shared operator instances (RC005).
+_EXEC_METHODS = frozenset({"execute", "_run"})
+
+#: Root of the class hierarchy RC005 applies to.
+_EXEC_OPERATOR_ROOT = "ExecutionOperator"
 
 #: Waiver marker: a line (or the line above) containing it is exempt.
 WAIVER_MARK = "lock-ok:"
@@ -226,6 +237,11 @@ class _Checker:
         self._module_locks: dict[str, dict[str, str]] = {}
         self._module_paths: dict[str, str] = {}
         self._module_lines: dict[str, list[str]] = {}
+        #: Class simple name -> base simple names, merged across modules
+        #: (the tree has no operator-class name collisions).
+        self._class_bases: dict[str, set[str]] = {}
+        #: Candidate RC005 sites: (module, class, method, line, target).
+        self._exec_writes: list[tuple[str, str, str, int, str]] = []
 
     # ------------------------------------------------------------ intake
     def scan_module(self, module: str, source: str, path: str) -> None:
@@ -315,6 +331,11 @@ class _Checker:
                 self._collect_one(stmt, cls, prefix, inherited)
 
     def _collect_class(self, node: ast.ClassDef) -> None:
+        bases = self._class_bases.setdefault(node.name, set())
+        for base in node.bases:
+            chain = _attr_chain(base)
+            if chain:
+                bases.add(chain[-1])
         for stmt in node.body:
             if isinstance(stmt, ast.FunctionDef):
                 self._collect_one(stmt, node.name,
@@ -335,7 +356,31 @@ class _Checker:
         self.functions[key] = info
         self._prebind_locals(node.body, info)
         self._register_attr_bindings(node.body, cls)
+        if cls is not None and node.name in _EXEC_METHODS:
+            self._collect_exec_writes(node, cls)
         self._walk(node.body, info, held=[])
+
+    def _collect_exec_writes(self, node: ast.FunctionDef, cls: str) -> None:
+        """Record ``self.*`` writes in an execution hot path (RC005)."""
+        for stmt in ast.walk(node):
+            if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = stmt.targets if isinstance(stmt, ast.Assign) \
+                    else [stmt.target]
+                for target in targets:
+                    for leaf in self._flatten_targets(target):
+                        path = _self_path(leaf)
+                        if path:
+                            self._exec_writes.append(
+                                (self._module, cls, node.name, leaf.lineno,
+                                 ".".join(("self",) + path)))
+            elif isinstance(stmt, ast.Call):
+                func = stmt.func
+                if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                    path = _self_path(func.value)
+                    if path:
+                        self._exec_writes.append(
+                            (self._module, cls, node.name, stmt.lineno,
+                             ".".join(("self",) + path) + f".{func.attr}()"))
 
     def _prebind_locals(self, body: Iterable[ast.stmt],
                         info: _FunctionInfo) -> None:
@@ -630,6 +675,7 @@ class _Checker:
                     if target is not None and target in self.functions:
                         acquired = self.functions[target].acquires
                 self._emit_call_edges(info, held, acquired, line)
+        self._emit_exec_writes()
         if require_all_locks:
             for spec in LOCK_ORDER:
                 if spec.name not in self.constructed:
@@ -640,6 +686,28 @@ class _Checker:
                         path="<registry>", line=0))
         self.findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
         return self.findings
+
+    def _emit_exec_writes(self) -> None:
+        """RC005: instance-state writes inside operator execution paths."""
+        operator_classes = {_EXEC_OPERATOR_ROOT}
+        changed = True
+        while changed:
+            changed = False
+            for cls_name, bases in self._class_bases.items():
+                if cls_name not in operator_classes \
+                        and bases & operator_classes:
+                    operator_classes.add(cls_name)
+                    changed = True
+        for module, cls, method, line, target in self._exec_writes:
+            if cls not in operator_classes or self._waived_in(module, line):
+                continue
+            self.findings.append(ConcurrencyFinding(
+                "RC005",
+                f"{cls}.{method} writes {target}: mutable instance state "
+                f"in an execution hot path; cached plans share operator "
+                f"instances across loop iterations and concurrent jobs — "
+                f"thread the value through the call instead",
+                path=self._module_paths.get(module, module), line=line))
 
     def _emit_call_edges(self, info: _FunctionInfo, held: tuple[str, ...],
                          acquired: set[str], line: int) -> None:

@@ -12,9 +12,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
+from ..core.batch import RecordBatch, pair_sum_reduce
 from ..core.context import DataQuanta, RheemContext
 from ..core.executor import ExecutionResult
-from ..workloads.tpch import ROW_BYTES, SF1_ROWS, TpchLite, parse_row
+from ..workloads.tpch import (
+    ROW_BYTES,
+    SF1_ROWS,
+    TpchLite,
+    parse_batch,
+    parse_row,
+)
 
 #: Bandwidths used to charge the baselines' data migration (match the
 #: conversion operators registered by the platforms).
@@ -37,13 +46,15 @@ def _pg_source(ctx: RheemContext, table: str) -> DataQuanta:
 def _hdfs_source(ctx: RheemContext, table: str) -> DataQuanta:
     return (ctx.read_text_file(f"hdfs://tpch/{table}.csv")
             .map(lambda line, __t=table: parse_row(__t, line),
-                 name=f"parse-{table}", bytes_per_record=ROW_BYTES[table]))
+                 name=f"parse-{table}", bytes_per_record=ROW_BYTES[table],
+                 batch_udf=lambda b, __t=table: parse_batch(__t, b)))
 
 
 def _local_source(ctx: RheemContext, table: str) -> DataQuanta:
     return (ctx.read_text_file(f"file://tpch/{table}.csv")
             .map(lambda line, __t=table: parse_row(__t, line),
-                 name=f"parse-{table}", bytes_per_record=ROW_BYTES[table]))
+                 name=f"parse-{table}", bytes_per_record=ROW_BYTES[table],
+                 batch_udf=lambda b, __t=table: parse_batch(__t, b)))
 
 
 #: Table -> source factory, per placement scenario.
@@ -59,13 +70,19 @@ PLACEMENTS: dict[str, dict[str, SourceFactory]] = {
 
 
 def q5_quanta(ctx: RheemContext, sf: float,
-              placement: str = "polystore") -> DataQuanta:
-    """Build TPC-H Q5 (revenue per nation, region ASIA, one order year)."""
-    try:
-        sources = PLACEMENTS[placement]
-    except KeyError:
-        raise ValueError(f"unknown placement {placement!r}; "
-                         f"choose from {sorted(PLACEMENTS)}") from None
+              placement: str = "polystore",
+              sources: dict[str, SourceFactory] | None = None) -> DataQuanta:
+    """Build TPC-H Q5 (revenue per nation, region ASIA, one order year).
+
+    ``sources`` overrides the placement's table -> source factories (the
+    throughput bench injects in-memory collection sources this way).
+    """
+    if sources is None:
+        try:
+            sources = PLACEMENTS[placement]
+        except KeyError:
+            raise ValueError(f"unknown placement {placement!r}; "
+                             f"choose from {sorted(PLACEMENTS)}") from None
 
     def src(table: str) -> DataQuanta:
         return sources[table](ctx, table)
@@ -74,50 +91,89 @@ def q5_quanta(ctx: RheemContext, sf: float,
     n_orders = SF1_ROWS["orders"] * sf
     n_supplier = SF1_ROWS["supplier"] * sf
 
+    # Every step also declares its vectorized twin (``batch_udf`` /
+    # ``*_key_column`` / ``batch_impl`` / ``batch_key``): record-wise
+    # equivalent columnar kernels the engines use when the context is built
+    # with ``vectorize`` on.  Plans and results are identical either way.
     region_asia = src("region").filter_range("name", "ASIA", "ASIA",
                                              selectivity=0.2)
     nation_asia = (src("nation")
                    .join(region_asia, lambda n: n["regionkey"],
-                         lambda r: r["regionkey"], selectivity=0.2)
+                         lambda r: r["regionkey"], selectivity=0.2,
+                         left_key_column="regionkey",
+                         right_key_column="regionkey")
                    .map(lambda p: {"nationkey": p[0]["nationkey"],
                                    "nname": p[0]["name"]},
-                        name="nation-cols", bytes_per_record=40))
+                        name="nation-cols", bytes_per_record=40,
+                        batch_udf=lambda b: RecordBatch.from_columns(
+                            ("nationkey", "nname"),
+                            (b.left.col("nationkey"), b.left.col("name")))))
     cust_asia = (src("customer")
                  .join(nation_asia, lambda c: c["nationkey"],
-                       lambda n: n["nationkey"], selectivity=1.0 / 25)
+                       lambda n: n["nationkey"], selectivity=1.0 / 25,
+                       left_key_column="nationkey",
+                       right_key_column="nationkey")
                  .map(lambda p: {"custkey": p[0]["custkey"],
                                  "cnationkey": p[0]["nationkey"],
                                  "nname": p[1]["nname"]},
-                      name="cust-cols", bytes_per_record=48))
+                      name="cust-cols", bytes_per_record=48,
+                      batch_udf=lambda b: RecordBatch.from_columns(
+                          ("custkey", "cnationkey", "nname"),
+                          (b.left.col("custkey"), b.left.col("nationkey"),
+                           b.right.col("nname")))))
     orders_window = src("orders").filter_range(
         "orderyear", 1994, 1994, selectivity=1.0 / 3)
     orders_asia = (orders_window
                    .join(cust_asia, lambda o: o["custkey"],
                          lambda c: c["custkey"],
-                         selectivity=1.0 / n_customer)
+                         selectivity=1.0 / n_customer,
+                         left_key_column="custkey",
+                         right_key_column="custkey")
                    .map(lambda p: {"orderkey": p[0]["orderkey"],
                                    "cnationkey": p[1]["cnationkey"],
                                    "nname": p[1]["nname"]},
-                        name="order-cols", bytes_per_record=48))
+                        name="order-cols", bytes_per_record=48,
+                        batch_udf=lambda b: RecordBatch.from_columns(
+                            ("orderkey", "cnationkey", "nname"),
+                            (b.left.col("orderkey"), b.right.col("cnationkey"),
+                             b.right.col("nname")))))
     line_asia = (src("lineitem")
                  .join(orders_asia, lambda l: l["orderkey"],
-                       lambda o: o["orderkey"], selectivity=1.0 / n_orders)
+                       lambda o: o["orderkey"], selectivity=1.0 / n_orders,
+                       left_key_column="orderkey",
+                       right_key_column="orderkey")
                  .map(lambda p: {"suppkey": p[0]["suppkey"],
                                  "revenue": p[0]["extendedprice"]
                                  * (1.0 - p[0]["discount"]),
                                  "cnationkey": p[1]["cnationkey"],
                                  "nname": p[1]["nname"]},
-                      name="line-cols", bytes_per_record=56))
+                      name="line-cols", bytes_per_record=56,
+                      batch_udf=lambda b: RecordBatch.from_columns(
+                          ("suppkey", "revenue", "cnationkey", "nname"),
+                          (b.left.col("suppkey"),
+                           np.asarray(b.left.col("extendedprice"))
+                           * (1.0 - np.asarray(b.left.col("discount"))),
+                           b.right.col("cnationkey"),
+                           b.right.col("nname")))))
     with_supp = (line_asia
                  .join(src("supplier"), lambda l: l["suppkey"],
-                       lambda s: s["suppkey"], selectivity=1.0 / n_supplier)
+                       lambda s: s["suppkey"], selectivity=1.0 / n_supplier,
+                       left_key_column="suppkey",
+                       right_key_column="suppkey")
                  .filter(lambda p: p[0]["cnationkey"] == p[1]["nationkey"],
-                         name="same-nation")
+                         name="same-nation",
+                         batch_udf=lambda b:
+                         np.asarray(b.left.col("cnationkey"))
+                         == np.asarray(b.right.col("nationkey")))
                  .map(lambda p: (p[0]["nname"], p[0]["revenue"]),
-                      name="rev-pair", bytes_per_record=32))
+                      name="rev-pair", bytes_per_record=32,
+                      batch_udf=lambda b: RecordBatch.from_tuple_columns(
+                          (b.left.col("nname"), b.left.col("revenue")))))
     revenue = with_supp.reduce_by_key(lambda t: t[0],
-                                      lambda a, b: (a[0], a[1] + b[1]))
-    return revenue.sort(key=lambda t: -t[1])
+                                      lambda a, b: (a[0], a[1] + b[1]),
+                                      batch_impl=pair_sum_reduce(0, 1))
+    return revenue.sort(key=lambda t: -t[1],
+                        batch_key=lambda b: -np.asarray(b.col(1)))
 
 
 @dataclass

@@ -1,0 +1,502 @@
+"""Columnar record batches: the vectorized hand-off unit of the engines.
+
+A :class:`RecordBatch` is an immutable, columnar view of a list of records.
+Batches are what the engines move when a context is built with
+``config={"vectorize": True}``: instead of dispatching a Python-level UDF
+per record, batch operators run one numpy kernel per batch and fall back to
+the per-record path only for operators without a vectorized declaration.
+
+Layout rules (``from_records``):
+
+* all records are dicts with the same key tuple  -> ``dict`` layout,
+  one column per key;
+* all records are tuples of the same width       -> ``tuple`` layout,
+  one column per position;
+* anything else                                  -> ``scalar`` layout,
+  the records themselves form the single column.
+
+A fourth layout, ``pair``, is produced by the vectorized join: it holds a
+left and a right sub-batch with aligned rows and reads back as the legacy
+``(left_record, right_record)`` pairs.
+
+Columns whose values are homogeneously ``int``, ``float`` or ``str`` are
+backed by read-only numpy arrays; everything else stays a plain object
+list.  ``to_records`` reconstructs the original records exactly (numpy
+round-trips int64/float64/str values bit-for-bit), which is what lets the
+batch engines guarantee results identical to the per-record engines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def _make_column(values: list[Any]):
+    """A read-only numpy array when the element type allows, else a list."""
+    if not values:
+        return values
+    # ``set(map(type, ...))`` runs the type scan at C speed; ``type`` (not
+    # isinstance) keeps bool/int and subclasses off the numpy path.
+    kinds = set(map(type, values))
+    if kinds == {int}:
+        try:
+            arr = np.array(values, dtype=np.int64)
+        except OverflowError:
+            return values
+    elif kinds == {float}:
+        arr = np.array(values, dtype=np.float64)
+    elif kinds == {str}:
+        arr = np.array(values, dtype=str)
+        # numpy's fixed-width unicode dtype drops trailing NULs; if any
+        # character went missing, keep the strings on the object path.
+        if int(np.strings.str_len(arr).sum()) != sum(map(len, values)):
+            return values
+    else:
+        return values
+    arr.flags.writeable = False
+    return arr
+
+
+def _column_values(column) -> list[Any]:
+    """Materialize a column back into plain Python values."""
+    if isinstance(column, np.ndarray):
+        return column.tolist()
+    return list(column)
+
+
+class RecordBatch:
+    """An immutable columnar batch of records (see module docstring)."""
+
+    __slots__ = ("_kind", "_names", "_columns", "_rows", "left", "right")
+
+    def __init__(self, kind: str, columns: tuple, rows: int,
+                 names: tuple[str, ...] | None = None,
+                 left: "RecordBatch | None" = None,
+                 right: "RecordBatch | None" = None) -> None:
+        self._kind = kind
+        self._columns = columns
+        self._rows = rows
+        self._names = names
+        self.left = left
+        self.right = right
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def from_records(cls, records: Iterable[Any]) -> "RecordBatch":
+        """Columnarize ``records`` (layout per the module docstring)."""
+        if isinstance(records, RecordBatch):
+            return records
+        rows = list(records)
+        if not rows:
+            return cls("scalar", ([],), 0)
+        first = rows[0]
+        if type(first) is dict:
+            names = tuple(first)
+            if all(type(r) is dict and tuple(r) == names for r in rows):
+                columns = tuple(_make_column([r[n] for r in rows])
+                                for n in names)
+                return cls("dict", columns, len(rows), names)
+        elif type(first) is tuple and first:
+            width = len(first)
+            if all(type(r) is tuple and len(r) == width for r in rows):
+                columns = tuple(_make_column([r[i] for r in rows])
+                                for i in range(width))
+                return cls("tuple", columns, len(rows))
+        return cls("scalar", (_make_column(rows),), len(rows))
+
+    @classmethod
+    def from_columns(cls, names: Sequence[str],
+                     columns: Sequence[Any]) -> "RecordBatch":
+        """A dict-layout batch from parallel ``columns`` (vectorized UDFs)."""
+        cols = tuple(_freeze(c) for c in columns)
+        rows = len(cols[0]) if cols else 0
+        return cls("dict", cols, rows, tuple(names))
+
+    @classmethod
+    def from_tuple_columns(cls, columns: Sequence[Any]) -> "RecordBatch":
+        """A tuple-layout batch from parallel ``columns``."""
+        cols = tuple(_freeze(c) for c in columns)
+        rows = len(cols[0]) if cols else 0
+        return cls("tuple", cols, rows)
+
+    @classmethod
+    def pair(cls, left: "RecordBatch", right: "RecordBatch") -> "RecordBatch":
+        """A join-output batch of aligned ``(left, right)`` rows."""
+        if len(left) != len(right):
+            raise ValueError("pair batch sides must have equal row counts")
+        return cls("pair", (), len(left), left=left, right=right)
+
+    @classmethod
+    def concat(cls, batches: Sequence["RecordBatch"]) -> "RecordBatch":
+        """Concatenate batches, preserving record order."""
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            return cls("scalar", ([],), 0)
+        if len(batches) == 1:
+            return batches[0]
+        head = batches[0]
+        same_layout = all(
+            b._kind == head._kind and b._names == head._names
+            and len(b._columns) == len(head._columns) for b in batches)
+        if head._kind == "pair" and same_layout:
+            return cls.pair(cls.concat([b.left for b in batches]),
+                            cls.concat([b.right for b in batches]))
+        if same_layout and head._kind in ("dict", "tuple", "scalar"):
+            columns = tuple(_concat_columns([b._columns[i] for b in batches])
+                            for i in range(len(head._columns)))
+            rows = sum(len(b) for b in batches)
+            return cls(head._kind, columns, rows, head._names)
+        merged: list[Any] = []
+        for b in batches:
+            merged.extend(b.to_records())
+        return cls.from_records(merged)
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    @property
+    def names(self) -> tuple[str, ...] | None:
+        return self._names
+
+    def __len__(self) -> int:
+        return self._rows
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.to_records())
+
+    def __repr__(self) -> str:
+        return f"RecordBatch({self._kind}, rows={self._rows})"
+
+    def col(self, key):
+        """A column by name (dict layout) or position (tuple layout)."""
+        if self._kind == "dict":
+            if not isinstance(key, str):
+                raise KeyError(key)
+            return self._columns[self._names.index(key)]
+        if self._kind == "tuple":
+            return self._columns[key]
+        if self._kind == "scalar" and key in (0, "value"):
+            return self._columns[0]
+        raise KeyError(f"no column {key!r} in a {self._kind} batch")
+
+    def array(self, key) -> np.ndarray | None:
+        """``col(key)`` as a numpy array, or None if it is an object column."""
+        try:
+            column = self.col(key)
+        except (KeyError, ValueError, IndexError):
+            return None
+        return column if isinstance(column, np.ndarray) else None
+
+    def to_records(self) -> list[Any]:
+        """The original records, reconstructed exactly (a fresh list)."""
+        if self._kind == "pair":
+            return list(zip(self.left.to_records(), self.right.to_records()))
+        if self._kind == "scalar":
+            # _column_values, not list(): iterating a numpy column yields
+            # numpy scalars (np.str_, np.int64), which would leak into
+            # records and downstream results.
+            return _column_values(self._columns[0])
+        values = [_column_values(c) for c in self._columns]
+        if self._kind == "dict":
+            names = self._names
+            return [dict(zip(names, row)) for row in zip(*values)] \
+                if values else []
+        return list(zip(*values)) if values else []
+
+    # --------------------------------------------------------------- kernels
+    def take(self, indices: np.ndarray) -> "RecordBatch":
+        """Rows at ``indices``, in that order (fancy indexing)."""
+        if self._kind == "pair":
+            return RecordBatch.pair(self.left.take(indices),
+                                    self.right.take(indices))
+        columns = []
+        index_list: list[int] | None = None
+        for column in self._columns:
+            if isinstance(column, np.ndarray):
+                taken = column[indices]
+                taken.flags.writeable = False
+                columns.append(taken)
+            else:
+                if index_list is None:
+                    index_list = indices.tolist() \
+                        if isinstance(indices, np.ndarray) else list(indices)
+                columns.append([column[i] for i in index_list])
+        rows = len(indices)
+        return RecordBatch(self._kind, tuple(columns), rows, self._names)
+
+    def mask(self, keep) -> "RecordBatch":
+        """Rows where the boolean array ``keep`` is true (order preserved)."""
+        return self.take(np.flatnonzero(np.asarray(keep, dtype=bool)))
+
+
+def _freeze(column):
+    if isinstance(column, np.ndarray):
+        if column.flags.writeable:
+            column = column.copy()
+            column.flags.writeable = False
+        return column
+    return _make_column(list(column))
+
+
+def _concat_columns(columns: list):
+    if all(isinstance(c, np.ndarray) for c in columns):
+        try:
+            out = np.concatenate(columns)
+        except (ValueError, TypeError):
+            out = None
+        if out is not None:
+            out.flags.writeable = False
+            return out
+    merged: list[Any] = []
+    for c in columns:
+        merged.extend(_column_values(c))
+    return _make_column(merged)
+
+
+# ---------------------------------------------------------------- kernels
+def range_mask(batch: RecordBatch, column: str, low: Any,
+               high: Any) -> np.ndarray | None:
+    """Vectorized ``low <= batch[column] <= high``; None when not possible."""
+    arr = batch.array(column)
+    if arr is None:
+        return None
+    try:
+        keep = np.ones(len(batch), dtype=bool)
+        if low is not None:
+            keep &= arr >= low
+        if high is not None:
+            keep &= arr <= high
+    except (TypeError, ValueError):
+        return None
+    return keep
+
+
+def join_indices(left_keys: np.ndarray,
+                 right_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Row indices of the hash-join output, in the legacy engines' order.
+
+    The per-record engines emit, for each left row in input order, every
+    matching right row in right-input order.  A stable argsort of the right
+    keys plus binary search reproduces exactly that order without touching
+    Python per row.
+    """
+    order = np.argsort(right_keys, kind="stable")
+    sorted_keys = right_keys[order]
+    span = (int(sorted_keys[-1]) - int(sorted_keys[0]) + 1
+            if len(sorted_keys) and sorted_keys.dtype.kind in "iu" else -1)
+    if 0 <= span <= 4 * (len(left_keys) + len(right_keys)) + 1024:
+        # Dense integer keys: a direct-address run table answers every
+        # probe with two gathers — much faster than binary-searching each
+        # (unsorted) left key.
+        lo = int(sorted_keys[0])
+        table = np.concatenate(
+            ([0], np.bincount(sorted_keys - lo, minlength=span).cumsum()))
+        inside = (left_keys >= lo) & (left_keys <= lo + span - 1)
+        pos = np.where(inside, left_keys - lo, 0)
+        starts = table[pos]
+        ends = np.where(inside, table[pos + 1], starts)
+    else:
+        starts = np.searchsorted(sorted_keys, left_keys, side="left")
+        ends = np.searchsorted(sorted_keys, left_keys, side="right")
+    counts = ends - starts
+    left_idx = np.repeat(np.arange(len(left_keys)), counts)
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    out_offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    within = np.arange(total) - np.repeat(out_offsets, counts)
+    right_idx = order[np.repeat(starts, counts) + within]
+    return left_idx, right_idx
+
+
+def joinable_keys(left: RecordBatch, left_col,
+                  right: RecordBatch, right_col):
+    """Numpy key arrays for a vectorized join, or None when unavailable.
+
+    Requires comparable numpy dtypes on both sides: equality under sort
+    order must coincide with the hash-table equality of the legacy path
+    (ints with ints, floats with floats, strings with strings).
+    """
+    if left_col is None or right_col is None:
+        return None
+    lk = left.array(left_col)
+    rk = right.array(right_col)
+    if lk is None or rk is None:
+        return None
+    if lk.dtype.kind != rk.dtype.kind:
+        return None
+    if lk.dtype.kind == "f" and (np.isnan(lk).any() or np.isnan(rk).any()):
+        return None  # NaN != NaN in a hash join, but sorts adjacently
+    return lk, rk
+
+
+def fold_by_key_columns(batch: RecordBatch, key_col, value_col,
+                        fold: Callable[[Any, Any], Any]) -> RecordBatch:
+    """Key-wise left fold matching the legacy ``_fold_by_key`` exactly.
+
+    Groups appear in first-occurrence order of their key; each group's
+    value is folded left-to-right over the batch's record order — the same
+    accumulation (hence bit-identical floats) as the per-record engines.
+    Output is a tuple layout of ``(key, aggregate)`` rows.
+    """
+    keys = _column_values(batch.col(key_col))
+    values = _column_values(batch.col(value_col))
+    acc: dict[Any, Any] = {}
+    for k, v in zip(keys, values):
+        if k in acc:
+            acc[k] = fold(acc[k], v)
+        else:
+            acc[k] = v
+    return RecordBatch.from_tuple_columns(
+        (list(acc.keys()), list(acc.values())))
+
+
+def pair_sum_reduce(key_col=0, value_col=1) -> Callable[[RecordBatch],
+                                                        RecordBatch]:
+    """A ``ReduceBy.batch_impl`` summing ``value_col`` per ``key_col``.
+
+    Matches the ubiquitous ``lambda a, b: (a[0], a[1] + b[1])`` reducer
+    over ``(key, value)`` tuples.
+    """
+    def impl(batch: RecordBatch) -> RecordBatch:
+        return fold_by_key_columns(batch, key_col, value_col,
+                                   lambda a, b: a + b)
+
+    return impl
+
+
+def column_values(column) -> list[Any]:
+    """Public alias of :func:`_column_values` for the engines."""
+    return _column_values(column)
+
+
+def sort_order(keys: np.ndarray, descending: bool) -> np.ndarray | None:
+    """Stable sort permutation matching ``sorted(records, key=..., reverse=)``.
+
+    Python's sort is stable in both directions (``reverse=True`` does NOT
+    reverse ties); ``-keys`` under a stable ascending argsort reproduces
+    that for numeric keys.  Returns None when the dtype cannot express it.
+    """
+    if not isinstance(keys, np.ndarray):
+        return None
+    if descending:
+        if keys.dtype.kind not in ("i", "f"):
+            return None
+        keys = -keys
+    try:
+        return np.argsort(keys, kind="stable")
+    except (TypeError, ValueError):
+        return None
+
+
+# ----------------------------------------------- operator-level batch kernels
+# Shared by every batch engine (pystreams, sparklite, flinklite, pgres
+# bindings): given the LOGICAL operator and one batch, produce the output
+# batch.  Each kernel prefers the operator's vectorized declaration and
+# falls back to running the per-record UDF inside the batch — either way
+# the output records equal the legacy per-record engines' exactly.
+
+def apply_map(logical, batch: RecordBatch, bvals: Sequence[Any] = ()
+              ) -> RecordBatch:
+    """Apply a ``Map`` logical to one batch."""
+    batch_udf = getattr(logical, "batch_udf", None)
+    if batch_udf is not None:
+        return RecordBatch.from_records(batch_udf(batch, *bvals))
+    udf = logical.udf
+    return RecordBatch.from_records(
+        [udf(x, *bvals) for x in batch.to_records()])
+
+
+def apply_flatmap(logical, batch: RecordBatch, bvals: Sequence[Any] = ()
+                  ) -> RecordBatch:
+    """Apply a ``FlatMap`` logical to one batch."""
+    batch_udf = getattr(logical, "batch_udf", None)
+    if batch_udf is not None:
+        return RecordBatch.from_records(batch_udf(batch, *bvals))
+    udf = logical.udf
+    return RecordBatch.from_records(
+        [y for x in batch.to_records() for y in udf(x, *bvals)])
+
+
+def apply_filter(logical, batch: RecordBatch, bvals: Sequence[Any] = ()
+                 ) -> RecordBatch:
+    """Apply a ``Filter`` logical to one batch.
+
+    Auto-vectorizes ``column``/``low``/``high`` range filters; otherwise
+    uses ``batch_udf`` or the per-record predicate.
+    """
+    batch_udf = getattr(logical, "batch_udf", None)
+    if batch_udf is not None:
+        return batch.mask(np.asarray(batch_udf(batch, *bvals), dtype=bool))
+    if getattr(logical, "column", None) is not None and not bvals:
+        keep = range_mask(batch, logical.column, logical.low, logical.high)
+        if keep is not None:
+            return batch.mask(keep)
+    udf = logical.udf
+    keep = [bool(udf(x, *bvals)) for x in batch.to_records()]
+    return batch.mask(np.array(keep, dtype=bool)) if keep else batch
+
+
+def apply_join(logical, left: RecordBatch, right: RecordBatch) -> RecordBatch:
+    """Hash equi-join of two batches in the legacy engines' output order."""
+    keys = joinable_keys(left, getattr(logical, "left_key_column", None),
+                         right, getattr(logical, "right_key_column", None))
+    if keys is not None:
+        li, ri = join_indices(*keys)
+        return RecordBatch.pair(left.take(li), right.take(ri))
+    lk, rk = logical.left_key, logical.right_key
+    table: dict[Any, list[Any]] = {}
+    for r in right.to_records():
+        table.setdefault(rk(r), []).append(r)
+    pairs = [(l, r) for l in left.to_records() for r in table.get(lk(l), ())]
+    return RecordBatch.from_records(pairs)
+
+
+def apply_reduce(logical, batch: RecordBatch) -> RecordBatch:
+    """Key-wise fold of one batch (first-occurrence order, left fold)."""
+    batch_impl = getattr(logical, "batch_impl", None)
+    if batch_impl is not None:
+        return RecordBatch.from_records(batch_impl(batch))
+    key, reducer = logical.key, logical.reducer
+    acc: dict[Any, Any] = {}
+    for x in batch.to_records():
+        k = key(x)
+        acc[k] = x if k not in acc else reducer(acc[k], x)
+    return RecordBatch.from_records(list(acc.values()))
+
+
+def apply_sort(logical, batch: RecordBatch) -> RecordBatch:
+    """Sort one batch, matching ``sorted(records, key=..., reverse=...)``."""
+    batch_key = getattr(logical, "batch_key", None)
+    if batch_key is not None:
+        order = sort_order(np.asarray(batch_key(batch)), logical.descending)
+        if order is not None:
+            return batch.take(order)
+    key = logical.key
+    records = sorted(batch.to_records(),
+                     key=key if key is not None else None,
+                     reverse=logical.descending)
+    return RecordBatch.from_records(records)
+
+
+def batch_keys(batch: RecordBatch, key_col, key_fn) -> list[Any]:
+    """Per-row shuffle keys as plain Python values.
+
+    Prefers the declared key column (one ``tolist`` instead of one UDF call
+    per record); key values are identical either way, so ``hash(key) % n``
+    partition assignment matches the per-record engines exactly.
+    """
+    if key_col is not None:
+        try:
+            return column_values(batch.col(key_col))
+        except (KeyError, IndexError):
+            pass
+    return [key_fn(r) for r in batch.to_records()]

@@ -130,6 +130,25 @@ class Channel:
             actual_count,
         )
 
+    def detached(self) -> "Channel":
+        """A defensive copy for fan-out points (copy-on-write semantics).
+
+        No-op operators (caches, sinks) that would otherwise return their
+        *input* channel object alias the payload container into every
+        sibling branch; a downstream operator mutating that container in
+        place (e.g. a ``map_partitions`` UDF sorting its partition) would
+        silently corrupt the cached/sunk data.  Mutable containers are
+        shallow-copied; immutable payloads (record batches, tuples, path
+        strings) are shared as-is.
+        """
+        payload = self.payload
+        if isinstance(payload, list):
+            payload = list(payload)
+        elif isinstance(payload, dict):
+            payload = dict(payload)
+        return Channel(self.descriptor, payload, self.sim_factor,
+                      self.bytes_per_record, self.actual_count)
+
 
 class Conversion:
     """A directed edge of the channel conversion graph.

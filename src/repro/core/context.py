@@ -69,16 +69,34 @@ class RheemContext:
         self.registry = MappingRegistry()
         self.metrics = MetricsRegistry()
         self.graph = ChannelConversionGraph(metrics=self.metrics)
+        # Config first: it gates what the registration loop below installs.
+        self.config = {"seed": 42}
+        self.config.update(config or {})
+        vectorize = bool(self.config.get("vectorize", False))
         for platform in self.platforms:
             for channel in platform.channels():
                 self.graph.register_channel(channel)
             for conversion in platform.conversions():
                 self.graph.register_conversion(conversion)
-            self.registry.register_all(platform.mappings())
+            mappings = platform.mappings()
+            if vectorize:
+                # Batch twins REPLACE the per-record mappings of the same
+                # logical type; batch channels bolt onto the platform's own
+                # channels via zero-cost conversions, so plan costs — hence
+                # plan choice and simulated semantics — are unchanged.
+                batch = platform.batch_mappings()
+                if batch:
+                    replaced = {m.operator_type for m in batch}
+                    mappings = [m for m in mappings
+                                if m.operator_type not in replaced]
+                    mappings.extend(batch)
+                for channel in platform.batch_channels():
+                    self.graph.register_channel(channel)
+                for conversion in platform.batch_conversions():
+                    self.graph.register_conversion(conversion)
+            self.registry.register_all(mappings)
         self.registry.register(channel_source_mapping())
         self.cost_model = CostModel(self.cluster, cost_params)
-        self.config = {"seed": 42}
-        self.config.update(config or {})
         self.tracer = tracer if tracer is not None else NO_TRACER
         self.plan_cache = ExecutionPlanCache(
             capacity=int(self.config.get("plan_cache_size", 64)),
@@ -331,20 +349,35 @@ class DataQuanta:
 
     def map(self, fn: Callable, name: str = "map",
             broadcasts: Sequence["DataQuanta"] = (),
-            bytes_per_record: float | None = None) -> "DataQuanta":
-        """Transform each quantum with ``fn`` (1-to-1)."""
-        return self._chain(ops.Map(fn, name, bytes_per_record), broadcasts)
+            bytes_per_record: float | None = None,
+            batch_udf: Callable | None = None) -> "DataQuanta":
+        """Transform each quantum with ``fn`` (1-to-1).
+
+        ``batch_udf`` optionally declares a vectorized twin operating on a
+        whole :class:`~repro.core.batch.RecordBatch` (must be record-wise
+        equivalent to ``fn``).
+        """
+        return self._chain(ops.Map(fn, name, bytes_per_record,
+                                   batch_udf=batch_udf), broadcasts)
 
     def flat_map(self, fn: Callable, name: str = "flatmap",
                  broadcasts: Sequence["DataQuanta"] = (),
-                 bytes_per_record: float | None = None) -> "DataQuanta":
+                 bytes_per_record: float | None = None,
+                 batch_udf: Callable | None = None) -> "DataQuanta":
         """Transform each quantum into zero or more quanta."""
-        return self._chain(ops.FlatMap(fn, name, bytes_per_record), broadcasts)
+        return self._chain(ops.FlatMap(fn, name, bytes_per_record,
+                                       batch_udf=batch_udf), broadcasts)
 
     def filter(self, fn: Callable, name: str = "filter",
-               broadcasts: Sequence["DataQuanta"] = ()) -> "DataQuanta":
-        """Keep only quanta satisfying the predicate."""
-        return self._chain(ops.Filter(fn, name), broadcasts)
+               broadcasts: Sequence["DataQuanta"] = (),
+               batch_udf: Callable | None = None) -> "DataQuanta":
+        """Keep only quanta satisfying the predicate.
+
+        ``batch_udf`` optionally computes the keep-mask for a whole record
+        batch in one call.
+        """
+        return self._chain(ops.Filter(fn, name, batch_udf=batch_udf),
+                           broadcasts)
 
     def map_partitions(self, fn: Callable, name: str = "map-partitions",
                        broadcasts: Sequence["DataQuanta"] = (),
@@ -374,9 +407,10 @@ class DataQuanta:
         return self._chain(ops.Distinct(key))
 
     def sort(self, key: Callable | None = None,
-             descending: bool = False) -> "DataQuanta":
-        """Sort quanta by ``key``."""
-        return self._chain(ops.Sort(key, descending))
+             descending: bool = False,
+             batch_key: Callable | None = None) -> "DataQuanta":
+        """Sort quanta by ``key`` (``batch_key``: its vectorized twin)."""
+        return self._chain(ops.Sort(key, descending, batch_key=batch_key))
 
     def group_by(self, key: Callable,
                  sim_groups: float | None = None) -> "DataQuanta":
@@ -384,10 +418,16 @@ class DataQuanta:
         return self._chain(ops.GroupBy(key, sim_groups=sim_groups))
 
     def reduce_by_key(self, key: Callable, reducer: Callable,
-                      sim_groups: float | None = None) -> "DataQuanta":
-        """Aggregate quanta per key with an associative ``reducer``."""
+                      sim_groups: float | None = None,
+                      batch_impl: Callable | None = None) -> "DataQuanta":
+        """Aggregate quanta per key with an associative ``reducer``.
+
+        ``batch_impl`` optionally folds a whole record batch per key in one
+        call (see :class:`~repro.core.operators.ReduceBy`).
+        """
         return self._chain(ops.ReduceBy(key, reducer,
-                                        sim_groups=sim_groups))
+                                        sim_groups=sim_groups,
+                                        batch_impl=batch_impl))
 
     def reduce(self, reducer: Callable) -> "DataQuanta":
         """Fold ALL quanta into one with an associative ``reducer``."""
@@ -422,10 +462,18 @@ class DataQuanta:
 
     def join(self, other: "DataQuanta", left_key: Callable,
              right_key: Callable, selectivity: float | None = None,
-             sim_mode: str = "linear") -> "DataQuanta":
-        """Equi-join with another dataset; emits ``(left, right)`` pairs."""
+             sim_mode: str = "linear",
+             left_key_column: Any = None,
+             right_key_column: Any = None) -> "DataQuanta":
+        """Equi-join with another dataset; emits ``(left, right)`` pairs.
+
+        Declaring the column each key UDF projects (``left_key_column`` /
+        ``right_key_column``) lets the batch engines join columnarly.
+        """
         return self._chain2(
-            ops.Join(left_key, right_key, selectivity, sim_mode=sim_mode),
+            ops.Join(left_key, right_key, selectivity, sim_mode=sim_mode,
+                     left_key_column=left_key_column,
+                     right_key_column=right_key_column),
             other)
 
     def cartesian(self, other: "DataQuanta") -> "DataQuanta":

@@ -42,6 +42,11 @@ class ExecutionContext:
     pgres: Any = None
     monitor: "Monitor | None" = None
     config: dict[str, Any] = field(default_factory=dict)
+    #: Loop-iteration index of the stage being executed (0 outside loops).
+    #: Operators that need per-iteration variation (e.g. sampling) derive it
+    #: from here instead of mutating instance state, so crash-retried
+    #: attempts of the same iteration see the same value.
+    epoch: int = 0
 
     @property
     def vfs(self):

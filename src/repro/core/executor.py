@@ -50,6 +50,23 @@ from .scheduler import StageScheduler
 CheckpointHook = Callable[[Monitor, set[int]], bool]
 
 
+def _sniffable(payload: Any) -> Any:
+    """Plain records for sniffer callbacks, whatever the representation.
+
+    Vectorized channels carry a :class:`RecordBatch` (or one per
+    partition); sniffers were written against the per-record engines and
+    must keep seeing the same record lists.
+    """
+    from .batch import RecordBatch
+
+    if isinstance(payload, RecordBatch):
+        return payload.to_records()
+    if (isinstance(payload, list) and payload
+            and all(isinstance(b, RecordBatch) for b in payload)):
+        return [r for b in payload for r in b.to_records()]
+    return payload
+
+
 class JobCancelled(RuntimeError):
     """Raised by a cancellation hook to abandon a job between stages.
 
@@ -458,7 +475,7 @@ class Executor:
                        monitor_present, sniffer_map, crossing, recorder,
                        stage_started, startup_owners, owner_key,
                        conversion_owners, injector, max_retries, job_lock,
-                       producers=(), lane=0,
+                       producers=(), lane=0, epoch=0,
                        parent_span=None) -> _StageOutcome:
         """Run one stage's attempts against buffered scratch state.
 
@@ -508,7 +525,7 @@ class Executor:
                 # share a mutable meter/monitor pair.
                 ctx = ExecutionContext(cluster=self.cluster, meter=meter,
                                        pgres=self.pgres, monitor=scratch,
-                                       config=dict(self.config))
+                                       config=dict(self.config), epoch=epoch)
                 with self.tracer.span(f"attempt{attempt}") as attempt_span:
                     self._charge_stage_overheads(stage, meter, stage_started,
                                                  startup_owners, owner_key)
@@ -638,7 +655,8 @@ class Executor:
                 cout = (out.sim_cardinality
                         if out.actual_count is not None else 0.0)
                 observations.append(OperatorObservation(
-                    op.platform, op.op_kind, op.work(), cin, cout))
+                    op.platform, op.observed_op_kind(inputs, ctx), op.work(),
+                    cin, cout))
             logical_id = task.logical_id
             if logical_id in sniffer_map and out.actual_count is not None:
                 # Deferred to commit time: a crashed attempt never produced
@@ -653,8 +671,9 @@ class Executor:
         platform = op.platform
         profile = (self.cluster.profile(platform)
                    if platform in self.cluster.profiles else None)
+        payload = _sniffable(channel.payload)
         for sniffer in sniffers:
-            sniffer.callback(channel.payload)
+            sniffer.callback(payload)
             if profile is not None:
                 meter.charge(
                     profile.cpu_seconds(channel.sim_cardinality,
@@ -710,7 +729,7 @@ class Executor:
         """A context whose charges and observations go nowhere."""
         return ExecutionContext(cluster=ctx.cluster, meter=CostMeter(),
                                 pgres=ctx.pgres, monitor=None,
-                                config=ctx.config)
+                                config=ctx.config, epoch=ctx.epoch)
 
     def _charge_stage_overheads(self, stage: ExecutionStage, meter: CostMeter,
                                 stage_started: set[str],
@@ -779,7 +798,8 @@ class Executor:
                     recorder=recorder, stage_started=stage_started,
                     startup_owners=startup_owners, owner_key=owner_key,
                     conversion_owners=None, injector=injector,
-                    max_retries=max_retries, job_lock=lock)
+                    max_retries=max_retries, job_lock=lock,
+                    epoch=iteration)
                 self._apply_outcome(outcome, env, cache, ctx.monitor,
                                     completed, recorder)
             if body_stages:

@@ -227,13 +227,21 @@ class Map(Operator):
     ``bytes_per_record`` optionally declares the simulated size of the
     OUTPUT quanta (e.g. a projection shrinking wide rows); by default the
     input's record size is carried through.
+
+    ``batch_udf`` optionally declares a vectorized twin of the UDF for the
+    batch engines: it receives a whole :class:`~repro.core.batch.RecordBatch`
+    (plus broadcast values) and returns the transformed batch.  It MUST be
+    record-wise equivalent to ``udf``; without it, batch engines fall back
+    to applying ``udf`` per record.
     """
 
     def __init__(self, udf: Callable[..., Any] | Udf, name: str = "map",
-                 bytes_per_record: float | None = None) -> None:
+                 bytes_per_record: float | None = None,
+                 batch_udf: Callable[..., Any] | None = None) -> None:
         super().__init__(name)
         self.udf = as_udf(udf)
         self.bytes_per_record = bytes_per_record
+        self.batch_udf = batch_udf
 
     def estimate_cardinality(self, inputs, ctx):
         return ctx.overrides.get(self.id, _passthrough(inputs))
@@ -247,13 +255,17 @@ class FlatMap(Operator):
 
     ``bytes_per_record`` optionally declares the simulated size of the
     OUTPUT quanta (words are smaller than the lines they come from).
+    ``batch_udf`` optionally maps a whole record batch to the flattened
+    output batch (see :class:`Map`).
     """
 
     def __init__(self, udf: Callable[..., Any] | Udf, name: str = "flatmap",
-                 bytes_per_record: float | None = None) -> None:
+                 bytes_per_record: float | None = None,
+                 batch_udf: Callable[..., Any] | None = None) -> None:
         super().__init__(name)
         self.udf = as_udf(udf)
         self.bytes_per_record = bytes_per_record
+        self.batch_udf = batch_udf
 
     def estimate_cardinality(self, inputs, ctx):
         if self.id in ctx.overrides:
@@ -314,17 +326,21 @@ class Filter(Operator):
 
     ``column``/``low``/``high`` optionally describe the predicate as a range
     over one attribute of dict-shaped quanta; the relational platform uses
-    this to run an index scan instead of a sequential scan.
+    this to run an index scan instead of a sequential scan, and the batch
+    engines auto-vectorize it into one columnar comparison.  ``batch_udf``
+    optionally computes the keep-mask for a whole record batch.
     """
 
     def __init__(self, udf: Callable[..., Any] | Udf, name: str = "filter",
                  column: str | None = None, low: Any = None,
-                 high: Any = None) -> None:
+                 high: Any = None,
+                 batch_udf: Callable[..., Any] | None = None) -> None:
         super().__init__(name)
         self.udf = as_udf(udf)
         self.column = column
         self.low = low
         self.high = high
+        self.batch_udf = batch_udf
 
     @classmethod
     def from_range(cls, column: str, low: Any = None, high: Any = None,
@@ -405,13 +421,19 @@ class Distinct(Operator):
 
 
 class Sort(Operator):
-    """Sorts quanta by a key UDF."""
+    """Sorts quanta by a key UDF.
+
+    ``batch_key`` optionally computes the whole sort-key column for a
+    record batch in one call (must agree with ``key`` per record).
+    """
 
     def __init__(self, key: Callable[..., Any] | Udf | None = None,
-                 descending: bool = False, name: str = "sort") -> None:
+                 descending: bool = False, name: str = "sort",
+                 batch_key: Callable[..., Any] | None = None) -> None:
         super().__init__(name)
         self.key = as_udf(key) if key is not None else None
         self.descending = descending
+        self.batch_key = batch_key
 
     def estimate_cardinality(self, inputs, ctx):
         return ctx.overrides.get(self.id, _passthrough(inputs))
@@ -452,11 +474,16 @@ class ReduceBy(Operator):
     def __init__(self, key: Callable[..., Any] | Udf,
                  reducer: Callable[[Any, Any], Any] | Udf,
                  name: str = "reduceby",
-                 sim_groups: float | None = None) -> None:
+                 sim_groups: float | None = None,
+                 batch_impl: Callable[..., Any] | None = None) -> None:
         super().__init__(name)
         self.key = as_udf(key)
         self.reducer = as_udf(reducer)
         self.sim_groups = sim_groups
+        #: Vectorized twin: maps one record batch to its per-key aggregates
+        #: (first-occurrence key order, left-fold accumulation — must match
+        #: ``key``/``reducer`` record-for-record).
+        self.batch_impl = batch_impl
 
     def estimate_cardinality(self, inputs, ctx):
         if self.id in ctx.overrides:
@@ -556,7 +583,9 @@ class Join(Operator):
     def __init__(self, left_key: Callable[..., Any] | Udf,
                  right_key: Callable[..., Any] | Udf,
                  selectivity: float | None = None,
-                 name: str = "join", sim_mode: str = "linear") -> None:
+                 name: str = "join", sim_mode: str = "linear",
+                 left_key_column: Any = None,
+                 right_key_column: Any = None) -> None:
         super().__init__(name)
         if sim_mode not in self.SIM_MODES:
             raise ValueError(f"unknown sim_mode {sim_mode!r}")
@@ -564,6 +593,10 @@ class Join(Operator):
         self.right_key = as_udf(right_key)
         self.selectivity = selectivity
         self.sim_mode = sim_mode
+        #: Column name (dict layout) or position (tuple layout) the key UDFs
+        #: project; declaring both lets the batch engines join columnarly.
+        self.left_key_column = left_key_column
+        self.right_key_column = right_key_column
 
     def output_sim_factor(self, left_factor: float,
                           right_factor: float) -> float:

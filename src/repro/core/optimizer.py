@@ -59,6 +59,7 @@ from .operators import (
     Operator,
     TableSource,
     TextFileSource,
+    Union,
 )
 from .plan import RheemPlan
 
@@ -265,7 +266,7 @@ class Optimizer:
             ops = plan.operators()
             inflate_span.set("operators", len(ops))
         with self.tracer.span("optimizer.movement") as movement_span:
-            bprs = self._estimate_record_bytes(ops)
+            bprs = self._estimate_record_bytes(ops, cards=cards)
             movement_span.set("record_widths_modeled", len(bprs))
 
         def alternatives(op: Operator):
@@ -312,8 +313,14 @@ class Optimizer:
     def _estimate_record_bytes(
         self, ops_seq: Sequence[Operator],
         out: dict[int, float] | None = None,
+        cards: dict[int, CardinalityEstimate] | None = None,
     ) -> dict[int, float]:
-        """Per-operator output record width, for movement-cost planning."""
+        """Per-operator output record width, for movement-cost planning.
+
+        ``cards`` (when available) weights multi-input widths by branch
+        cardinality — a union of a wide trickle and a narrow torrent is
+        mostly narrow.
+        """
         out = out if out is not None else {}
         vfs = self.estimation_ctx.vfs
         for op in ops_seq:
@@ -337,6 +344,8 @@ class Optimizer:
                 b = op.bytes_per_record
             elif isinstance(op, (Join, CartesianProduct, IEJoin)):
                 b = sum(ins) if ins else PLANNING_BYTES_PER_RECORD
+            elif isinstance(op, Union) and len(ins) == 2:
+                b = self._weighted_union_bytes(op, ins, cards)
             elif isinstance(op, LoopInput):
                 b = (op.pinned_bytes if op.pinned_bytes is not None
                      else PLANNING_BYTES_PER_RECORD)
@@ -344,7 +353,7 @@ class Optimizer:
                 for loop_input, ref in zip(op.body.inputs, op.inputs):
                     loop_input.pinned_bytes = out.get(
                         ref.op.id, PLANNING_BYTES_PER_RECORD)
-                self._estimate_record_bytes(op.body.operators(), out)
+                self._estimate_record_bytes(op.body.operators(), out, cards)
                 b = out[op.body.outputs[0].op.id]
             elif ins:
                 b = ins[0]
@@ -352,6 +361,19 @@ class Optimizer:
                 b = PLANNING_BYTES_PER_RECORD
             out[op.id] = b
         return out
+
+    @staticmethod
+    def _weighted_union_bytes(op: Operator, ins: list[float], cards) -> float:
+        """Cardinality-weighted width of a two-input union (not ``ins[0]``:
+        the left branch alone misprices movement when the branches differ)."""
+        if cards is not None:
+            weights = [cards[ref.op.id].geometric_mean
+                       for ref in op.inputs
+                       if ref is not None and ref.op.id in cards]
+            if len(weights) == 2 and sum(weights) > 0:
+                total = sum(weights)
+                return (weights[0] * ins[0] + weights[1] * ins[1]) / total
+        return (ins[0] + ins[1]) / 2.0
 
     # -------------------------------------------------------- alternatives
     def _filter_alternatives(self, op: Operator,
@@ -375,7 +397,8 @@ class Optimizer:
         output_op = loop.body.outputs[0].op
         phantom = {inp.id for inp in loop.body.inputs}
         phantom.add(output_op.id)
-        body_bprs = self._estimate_record_bytes(body_ops, dict(bprs))
+        body_bprs = self._estimate_record_bytes(body_ops, dict(bprs),
+                                                cards=cards)
 
         def body_alternatives(op: Operator):
             if isinstance(op, LoopInput):

@@ -48,7 +48,9 @@ class ChannelSourceExec(ExecutionOperator):
         return CostEstimate.zero()
 
     def execute(self, inputs, broadcasts, ctx):
-        return self.logical.channel
+        # Detach: the stored channel may be re-emitted into several
+        # residual plans, whose branches must not share mutable payloads.
+        return self.logical.channel.detached()
 
 
 def channel_source_mapping() -> OperatorMapping:

@@ -121,6 +121,17 @@ class ExecutionOperator:
         """
         return None
 
+    def observed_op_kind(self, inputs, ctx) -> str:
+        """Cost-parameter kind this execution actually used.
+
+        Must be a pure function of the inputs and context — never of
+        mutable instance state, because cached plans share operator
+        instances across concurrently executing jobs.  Operators whose
+        kind depends on runtime data (e.g. index vs sequential scan)
+        override this; the executor records it post-execute.
+        """
+        return self.op_kind
+
     @property
     def name(self) -> str:
         suffix = f"[{self.logical.name}]" if self.logical is not None else ""
@@ -151,6 +162,25 @@ class Platform:
         """Operator mappings from Rheem operators to execution operators."""
         raise NotImplementedError
 
+    # -- vectorized (record-batch) execution -------------------------------
+    # Registered by the context only when built with ``vectorize`` on.  The
+    # batch mappings REPLACE the per-record mappings for their logical
+    # operator types; batch channels connect to the platform's own channels
+    # through zero-cost conversions, so plan costs (hence plan choice and
+    # simulated semantics) are identical with vectorization on or off.
+
+    def batch_channels(self) -> list[ChannelDescriptor]:
+        """Channel types carrying record batches (empty: no batch support)."""
+        return []
+
+    def batch_conversions(self) -> list[Conversion]:
+        """Zero-cost conversions between list and batch payloads."""
+        return []
+
+    def batch_mappings(self) -> list["OperatorMapping"]:
+        """Batch twins replacing the per-record mappings of the same type."""
+        return []
+
     def __repr__(self) -> str:
         return f"Platform({self.name})"
 
@@ -172,20 +202,37 @@ def charge_operator(
     exec_op: "ExecutionOperator",
     cin_sim: float,
     cout_sim: float,
+    kind: str | None = None,
 ) -> None:
     """Charge an operator's simulated time using the shared kind parameters.
 
     Engines charge exactly what the (default) cost model predicts, so a
     perfectly calibrated optimizer is the baseline and the learned model can
-    be evaluated against it.
+    be evaluated against it.  ``kind`` overrides ``exec_op.op_kind`` when
+    the run resolved the kind dynamically (see ``observed_op_kind``).
     """
     from ..core.cost import kind_params  # local import to avoid a cycle
 
-    p = kind_params(exec_op.op_kind)
+    p = kind_params(kind if kind is not None else exec_op.op_kind)
     profile = ctx.cluster.profile(exec_op.platform)
     units = p.alpha * cin_sim + p.beta * cout_sim
     seconds = p.delta + profile.cpu_seconds(units, exec_op.work())
     ctx.meter.charge(seconds, exec_op.name, category="cpu")
+
+
+def union_bytes_per_record(a: Channel, b: Channel) -> float:
+    """Cardinality-weighted record width of a two-input union.
+
+    A union's output mixes both branches' records, so its ``sim_mb`` (and
+    every IO/net cost derived from it) must reflect the branch widths in
+    proportion to how many records each contributes — not just the left
+    branch's width.
+    """
+    total = a.sim_cardinality + b.sim_cardinality
+    if total <= 0:
+        return a.bytes_per_record
+    return (a.sim_cardinality * a.bytes_per_record
+            + b.sim_cardinality * b.bytes_per_record) / total
 
 
 def measured(channel: Channel, payload: Any, count: int,

@@ -15,11 +15,18 @@ from __future__ import annotations
 import random
 from typing import Any, Sequence
 
+import numpy as np
+
 from ..algorithms.iejoin import ie_join
 from ..algorithms.pagerank import pagerank_edges
 from ..core.channels import Channel, ChannelDescriptor
-from .base import ExecutionOperator, charge_operator
+from .base import ExecutionOperator, charge_operator, union_bytes_per_record
 from .distributed import PartitionedDataset
+
+
+def _cin(inputs: Sequence[Channel]) -> float:
+    """Simulated input cardinality an operator is charged for."""
+    return sum(ch.sim_cardinality for ch in inputs)
 
 
 class DataflowOperator(ExecutionOperator):
@@ -48,7 +55,6 @@ class DataflowOperator(ExecutionOperator):
     # ------------------------------------------------------------- plumbing
     def execute(self, inputs: Sequence[Channel], broadcasts: Sequence[Channel],
                 ctx) -> Channel:
-        self._charge_inputs = list(inputs)
         return self._run(inputs, [b.payload for b in broadcasts], ctx)
 
     def _run(self, inputs: Sequence[Channel], bvals: list[Any], ctx) -> Channel:
@@ -58,8 +64,12 @@ class DataflowOperator(ExecutionOperator):
         return ctx.profile(self.platform).parallelism
 
     def _emit(self, template: Channel, dataset: PartitionedDataset, ctx,
+              cin: float,
               sim_factor: float | None = None,
               bytes_per_record: float | None = None) -> Channel:
+        # ``cin`` is threaded through the call (not instance state): shared
+        # operator instances re-execute across loop iterations and
+        # concurrent scheduler lanes.
         out = Channel(
             self.DATASET,
             dataset,
@@ -68,7 +78,6 @@ class DataflowOperator(ExecutionOperator):
              else bytes_per_record),
             dataset.count(),
         )
-        cin = sum(ch.sim_cardinality for ch in self._charge_inputs)
         charge_operator(ctx, self, cin, out.sim_cardinality)
         extra = self.overhead_seconds(ctx.profile(self.platform))
         if extra:
@@ -99,8 +108,7 @@ class DFTextFileSource(DataflowOperator):
                                                   self._parallelism(ctx))
         template = Channel(self.DATASET, None, vf.sim_factor,
                            vf.bytes_per_record)
-        self._charge_inputs = []
-        return self._emit(template, dataset, ctx)
+        return self._emit(template, dataset, ctx, 0.0)
 
 
 class DFCollectionSource(DataflowOperator):
@@ -117,8 +125,7 @@ class DFCollectionSource(DataflowOperator):
                                                   self._parallelism(ctx))
         template = Channel(self.DATASET, None, logical.sim_factor,
                            logical.bytes_per_record)
-        self._charge_inputs = []
-        out = self._emit(template, dataset, ctx)
+        out = self._emit(template, dataset, ctx, 0.0)
         ctx.meter.charge(ctx.profile(self.platform).transfer_seconds(out.sim_mb),
                          f"{self.name}.parallelize", category="net")
         return out
@@ -131,7 +138,7 @@ class DFMap(DataflowOperator):
         udf = self.logical.udf
         out = inputs[0].payload.map_partitions(
             lambda part: [udf(x, *bvals) for x in part])
-        return self._emit(inputs[0], out, ctx,
+        return self._emit(inputs[0], out, ctx, _cin(inputs),
                           bytes_per_record=self.logical.bytes_per_record)
 
 
@@ -142,7 +149,7 @@ class DFFlatMap(DataflowOperator):
         udf = self.logical.udf
         out = inputs[0].payload.map_partitions(
             lambda part: [y for x in part for y in udf(x, *bvals)])
-        return self._emit(inputs[0], out, ctx,
+        return self._emit(inputs[0], out, ctx, _cin(inputs),
                           bytes_per_record=self.logical.bytes_per_record)
 
 
@@ -153,7 +160,7 @@ class DFMapPartitions(DataflowOperator):
         udf = self.logical.udf
         out = inputs[0].payload.map_partitions(
             lambda part: list(udf(list(part), *bvals)))
-        return self._emit(inputs[0], out, ctx,
+        return self._emit(inputs[0], out, ctx, _cin(inputs),
                           bytes_per_record=self.logical.bytes_per_record)
 
 
@@ -170,7 +177,8 @@ class DFZipWithId(DataflowOperator):
             for pid, part in enumerate(dataset.partitions)
         ]
         from .distributed import PartitionedDataset
-        return self._emit(inputs[0], PartitionedDataset(parts), ctx)
+        return self._emit(inputs[0], PartitionedDataset(parts), ctx,
+                          _cin(inputs))
 
 
 class DFFilter(DataflowOperator):
@@ -180,7 +188,7 @@ class DFFilter(DataflowOperator):
         udf = self.logical.udf
         out = inputs[0].payload.map_partitions(
             lambda part: [x for x in part if udf(x, *bvals)])
-        return self._emit(inputs[0], out, ctx)
+        return self._emit(inputs[0], out, ctx, _cin(inputs))
 
 
 class DFSample(DataflowOperator):
@@ -190,10 +198,6 @@ class DFSample(DataflowOperator):
     ``random_jump`` / ``shuffled_partition`` model ML4all's plugged
     IO-efficient samplers that only touch the sample itself.
     """
-
-    def __init__(self, logical):
-        super().__init__(logical)
-        self._invocations = 0
 
     @property
     def op_kind(self):
@@ -222,13 +226,15 @@ class DFSample(DataflowOperator):
         if logical.method == "first":
             sample = data[:k]
         else:
+            # Retry-deterministic: seeded from the loop-iteration epoch the
+            # executor supplies, never from operator-instance state (which
+            # would advance on failed attempts and re-runs).
             seed = (f"{ctx.config.get('seed', 42)}|{logical.seed}"
-                    f"|{logical.name}|{self._invocations}")
+                    f"|{logical.name}|{ctx.epoch}")
             rng = random.Random(seed)
             sample = [data[rng.randrange(len(data))] for __ in range(k)] if data else []
-        self._invocations += 1
         out = PartitionedDataset([sample])
-        return self._emit(inputs[0], out, ctx, sim_factor=1.0)
+        return self._emit(inputs[0], out, ctx, _cin(inputs), sim_factor=1.0)
 
 
 class DFDistinct(DataflowOperator):
@@ -252,7 +258,8 @@ class DFDistinct(DataflowOperator):
         self._charge_shuffle(ctx, inputs[0])
         shuffled = inputs[0].payload.shuffle_by_key(
             key if key is not None else lambda x: x, self._parallelism(ctx))
-        return self._emit(inputs[0], shuffled.map_partitions(dedupe), ctx)
+        return self._emit(inputs[0], shuffled.map_partitions(dedupe), ctx,
+                          _cin(inputs))
 
 
 class DFSort(DataflowOperator):
@@ -272,7 +279,8 @@ class DFSort(DataflowOperator):
         n = self._parallelism(ctx)
         chunk = max(1, (len(records) + n - 1) // n)
         parts = [records[i:i + chunk] for i in range(0, len(records), chunk)]
-        return self._emit(inputs[0], PartitionedDataset(parts or [[]]), ctx)
+        return self._emit(inputs[0], PartitionedDataset(parts or [[]]), ctx,
+                          _cin(inputs))
 
 
 class DFGroupBy(DataflowOperator):
@@ -293,7 +301,7 @@ class DFGroupBy(DataflowOperator):
             return list(groups.items())
 
         out = shuffled.map_partitions(group)
-        return self._emit(inputs[0], out, ctx,
+        return self._emit(inputs[0], out, ctx, _cin(inputs),
                           sim_factor=_group_factor(self.logical, out.count(),
                                                    inputs[0].sim_factor))
 
@@ -328,7 +336,7 @@ class DFReduceBy(DataflowOperator):
         shuffled = combined.shuffle_by_key(key, self._parallelism(ctx))
         out = shuffled.map_partitions(
             lambda part: [v for __, v in _fold_by_key(part, key, reducer)])
-        return self._emit(inputs[0], out, ctx,
+        return self._emit(inputs[0], out, ctx, _cin(inputs),
                           sim_factor=_group_factor(self.logical, out.count(),
                                                    inputs[0].sim_factor))
 
@@ -362,7 +370,7 @@ class DFGlobalReduce(DataflowOperator):
                 acc = reducer(acc, x)
             out = [acc]
         return self._emit(inputs[0], PartitionedDataset([out]), ctx,
-                          sim_factor=1.0)
+                          _cin(inputs), sim_factor=1.0)
 
 
 class DFCount(DataflowOperator):
@@ -371,7 +379,7 @@ class DFCount(DataflowOperator):
     def _run(self, inputs, bvals, ctx):
         n = inputs[0].payload.count()
         return self._emit(inputs[0], PartitionedDataset([[n]]), ctx,
-                          sim_factor=1.0)
+                          _cin(inputs), sim_factor=1.0)
 
 
 class DFUnion(DataflowOperator):
@@ -383,7 +391,9 @@ class DFUnion(DataflowOperator):
         total_actual = a.payload.count() + b.payload.count()
         total_sim = a.sim_cardinality + b.sim_cardinality
         factor = total_sim / total_actual if total_actual else 1.0
-        return self._emit(a, PartitionedDataset(parts), ctx, sim_factor=factor)
+        return self._emit(a, PartitionedDataset(parts), ctx, _cin(inputs),
+                          sim_factor=factor,
+                          bytes_per_record=union_bytes_per_record(a, b))
 
 
 class DFIntersect(DataflowOperator):
@@ -410,7 +420,8 @@ class DFIntersect(DataflowOperator):
                     out.append(x)
             return out
 
-        return self._emit(a, sa.zip_partitions(sb, intersect), ctx)
+        return self._emit(a, sa.zip_partitions(sb, intersect), ctx,
+                          _cin(inputs))
 
 
 class DFJoin(DataflowOperator):
@@ -438,7 +449,7 @@ class DFJoin(DataflowOperator):
 
         out = sa.zip_partitions(sb, join)
         factor = self.logical.output_sim_factor(a.sim_factor, b.sim_factor)
-        return self._emit(a, out, ctx, sim_factor=factor,
+        return self._emit(a, out, ctx, _cin(inputs), sim_factor=factor,
                           bytes_per_record=a.bytes_per_record + b.bytes_per_record)
 
 
@@ -455,7 +466,7 @@ class DFCartesian(DataflowOperator):
         self._charge_shuffle(ctx, b)  # replicate the right side
         out = a.payload.map_partitions(
             lambda part: [(l, r) for l in part for r in right])
-        return self._emit(a, out, ctx,
+        return self._emit(a, out, ctx, _cin(inputs),
                           sim_factor=a.sim_factor * b.sim_factor,
                           bytes_per_record=a.bytes_per_record + b.bytes_per_record)
 
@@ -476,7 +487,7 @@ class DFIEJoin(DataflowOperator):
         self._charge_shuffle(ctx, b)
         pairs = ie_join(a.payload.to_list(), b.payload.to_list(), conditions)
         out = PartitionedDataset.from_records(pairs, self._parallelism(ctx))
-        return self._emit(a, out, ctx,
+        return self._emit(a, out, ctx, _cin(inputs),
                           sim_factor=max(a.sim_factor, b.sim_factor),
                           bytes_per_record=a.bytes_per_record + b.bytes_per_record)
 
@@ -510,7 +521,7 @@ class DFPageRank(DataflowOperator):
         ctx.meter.charge(
             self.logical.iterations * rank_mb * profile.shuffle_cost_s_per_mb,
             f"{self.name}.rank-shuffles", category="net")
-        return self._emit(inputs[0], out, ctx)
+        return self._emit(inputs[0], out, ctx, _cin(inputs))
 
 
 class DFTextFileSink(DataflowOperator):
@@ -523,4 +534,206 @@ class DFTextFileSink(DataflowOperator):
                       ch.bytes_per_record)
         ctx.meter.charge(ctx.profile(self.platform).io_seconds(ch.sim_mb),
                          f"{self.name}.write", category="io")
-        return ch
+        # Detach: the sunk channel must not alias a dataset a sibling
+        # branch may mutate through (partition lists are mutable).
+        copied = PartitionedDataset([list(p) for p in ch.payload.partitions])
+        return ch.with_payload(copied, actual_count=ch.actual_count)
+
+
+# --------------------------------------------------------------------------
+# Vectorized (record-batch) twins.  Registered only when the context is
+# built with ``vectorize`` on; they REPLACE the per-record mappings of the
+# same logical types.  The payload is one :class:`RecordBatch` per
+# partition, so partitioning — and therefore every shuffle, chunking and
+# co-location decision — is observably identical to the per-record path.
+# Each twin inherits its scalar class's ``op_kind`` / ``shuffled_mb`` /
+# overheads, so it is charged exactly the same simulated time.
+
+class BatchDataflowOperator(DataflowOperator):
+    """Base for the batch twins.  Subclasses also set ``BATCH``."""
+
+    BATCH: ChannelDescriptor
+
+    def input_descriptors(self):
+        arity = self.logical.num_inputs if self.logical is not None else 1
+        return [self.BATCH] * arity
+
+    def output_descriptor(self):
+        return self.BATCH
+
+    def _emit_batches(self, template: Channel, batches, ctx, cin: float,
+                      sim_factor: float | None = None,
+                      bytes_per_record: float | None = None) -> Channel:
+        # Mirrors ``_emit`` with a list-of-batches payload.
+        out = Channel(
+            self.BATCH,
+            batches,
+            template.sim_factor if sim_factor is None else sim_factor,
+            (template.bytes_per_record if bytes_per_record is None
+             else bytes_per_record),
+            sum(len(b) for b in batches),
+        )
+        charge_operator(ctx, self, cin, out.sim_cardinality)
+        extra = self.overhead_seconds(ctx.profile(self.platform))
+        if extra:
+            ctx.meter.charge(extra, f"{self.name}.overhead", category="overhead")
+        return out
+
+    def _shuffle(self, batches, n: int, key_fn, key_col=None):
+        """Hash-partition batches by key, exactly like ``shuffle_by_key``.
+
+        The legacy shuffle appends records to ``parts[hash(key) % n]`` while
+        scanning partitions in order, so target partition ``t`` holds — in
+        source order — every record whose key hashes to ``t``.  Selecting
+        each source batch's matching rows (order-preserving) and
+        concatenating over source batches reproduces that exactly.
+        """
+        from ..core.batch import RecordBatch, batch_keys
+
+        assigns = []
+        for b in batches:
+            keys = batch_keys(b, key_col, key_fn)
+            assigns.append(np.array([hash(k) % n for k in keys],
+                                    dtype=np.int64))
+        return [
+            RecordBatch.concat([
+                b.take(np.flatnonzero(a == t))
+                for b, a in zip(batches, assigns) if len(b)
+            ])
+            for t in range(n)
+        ]
+
+
+class DFBatchMap(BatchDataflowOperator, DFMap):
+    def _run(self, inputs, bvals, ctx):
+        from ..core.batch import apply_map
+        out = [apply_map(self.logical, b, bvals) for b in inputs[0].payload]
+        return self._emit_batches(inputs[0], out, ctx, _cin(inputs),
+                                  bytes_per_record=self.logical.bytes_per_record)
+
+
+class DFBatchFlatMap(BatchDataflowOperator, DFFlatMap):
+    def _run(self, inputs, bvals, ctx):
+        from ..core.batch import apply_flatmap
+        out = [apply_flatmap(self.logical, b, bvals)
+               for b in inputs[0].payload]
+        return self._emit_batches(inputs[0], out, ctx, _cin(inputs),
+                                  bytes_per_record=self.logical.bytes_per_record)
+
+
+class DFBatchFilter(BatchDataflowOperator, DFFilter):
+    def _run(self, inputs, bvals, ctx):
+        from ..core.batch import apply_filter
+        out = [apply_filter(self.logical, b, bvals)
+               for b in inputs[0].payload]
+        return self._emit_batches(inputs[0], out, ctx, _cin(inputs))
+
+
+class DFBatchDistinct(BatchDataflowOperator, DFDistinct):
+    def _run(self, inputs, bvals, ctx):
+        key = self.logical.key
+
+        def dedupe(batch):
+            seen, keep = set(), []
+            for i, x in enumerate(batch.to_records()):
+                k = key(x) if key is not None else x
+                if k not in seen:
+                    seen.add(k)
+                    keep.append(i)
+            return batch.take(np.array(keep, dtype=np.int64))
+
+        self._charge_shuffle(ctx, inputs[0])
+        shuffled = self._shuffle(inputs[0].payload, self._parallelism(ctx),
+                                 key if key is not None else lambda x: x)
+        return self._emit_batches(inputs[0], [dedupe(b) for b in shuffled],
+                                  ctx, _cin(inputs))
+
+
+class DFBatchSort(BatchDataflowOperator, DFSort):
+    def _run(self, inputs, bvals, ctx):
+        from ..core.batch import RecordBatch, apply_sort
+        merged = apply_sort(self.logical, RecordBatch.concat(inputs[0].payload))
+        self._charge_shuffle(ctx, inputs[0])
+        n = self._parallelism(ctx)
+        rows = len(merged)
+        chunk = max(1, (rows + n - 1) // n)
+        parts = [merged.take(np.arange(i, min(i + chunk, rows)))
+                 for i in range(0, rows, chunk)]
+        return self._emit_batches(
+            inputs[0], parts or [RecordBatch.from_records([])], ctx,
+            _cin(inputs))
+
+
+class DFBatchGroupBy(BatchDataflowOperator, DFGroupBy):
+    def _run(self, inputs, bvals, ctx):
+        from ..core.batch import RecordBatch
+        key = self.logical.key
+        self._charge_shuffle(ctx, inputs[0])
+        shuffled = self._shuffle(inputs[0].payload, self._parallelism(ctx),
+                                 key)
+
+        def group(batch):
+            groups: dict[Any, list[Any]] = {}
+            for x in batch.to_records():
+                groups.setdefault(key(x), []).append(x)
+            return RecordBatch.from_records(list(groups.items()))
+
+        out = [group(b) for b in shuffled]
+        count = sum(len(b) for b in out)
+        return self._emit_batches(inputs[0], out, ctx, _cin(inputs),
+                                  sim_factor=_group_factor(self.logical, count,
+                                                           inputs[0].sim_factor))
+
+
+class DFBatchReduceBy(BatchDataflowOperator, DFReduceBy):
+    def _run(self, inputs, bvals, ctx):
+        from ..core.batch import apply_reduce
+        logical = self.logical
+        # Local combine, exactly as the per-record engine: each partition
+        # collapses to its key-wise partial aggregates (apply_reduce emits
+        # the fold dict's VALUES in first-occurrence key order — the same
+        # records ``combine`` produces).
+        combined = [apply_reduce(logical, b) for b in inputs[0].payload]
+        partial_mb = (sum(len(b) for b in combined) * inputs[0].sim_factor
+                      * inputs[0].bytes_per_record / 1e6)
+        profile = ctx.profile(self.platform)
+        ctx.meter.charge(partial_mb * profile.shuffle_cost_s_per_mb,
+                         f"{self.name}.shuffle", category="net")
+        shuffled = self._shuffle(combined, self._parallelism(ctx),
+                                 logical.key)
+        out = [apply_reduce(logical, b) for b in shuffled]
+        count = sum(len(b) for b in out)
+        return self._emit_batches(inputs[0], out, ctx, _cin(inputs),
+                                  sim_factor=_group_factor(logical, count,
+                                                           inputs[0].sim_factor))
+
+
+class DFBatchUnion(BatchDataflowOperator, DFUnion):
+    def _run(self, inputs, bvals, ctx):
+        a, b = inputs
+        parts = list(a.payload) + list(b.payload)
+        total_actual = sum(len(p) for p in parts)
+        total_sim = a.sim_cardinality + b.sim_cardinality
+        factor = total_sim / total_actual if total_actual else 1.0
+        return self._emit_batches(a, parts, ctx, _cin(inputs),
+                                  sim_factor=factor,
+                                  bytes_per_record=union_bytes_per_record(a, b))
+
+
+class DFBatchJoin(BatchDataflowOperator, DFJoin):
+    def _run(self, inputs, bvals, ctx):
+        from ..core.batch import apply_join
+        a, b = inputs
+        logical = self.logical
+        n = self._parallelism(ctx)
+        self._charge_shuffle(ctx, a)
+        self._charge_shuffle(ctx, b)
+        sa = self._shuffle(a.payload, n, logical.left_key,
+                           getattr(logical, "left_key_column", None))
+        sb = self._shuffle(b.payload, n, logical.right_key,
+                           getattr(logical, "right_key_column", None))
+        out = [apply_join(logical, pa, pb) for pa, pb in zip(sa, sb)]
+        factor = logical.output_sim_factor(a.sim_factor, b.sim_factor)
+        return self._emit_batches(a, out, ctx, _cin(inputs), sim_factor=factor,
+                                  bytes_per_record=a.bytes_per_record
+                                  + b.bytes_per_record)

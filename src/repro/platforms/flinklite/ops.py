@@ -10,8 +10,9 @@ from __future__ import annotations
 from ...core.channels import Channel
 from .. import dataflow as df
 from ..base import charge_operator
+from ..distributed import PartitionedDataset
 from ..pystreams.channels import PY_COLLECTION
-from .channels import FLINK_BROADCAST, FLINK_DATASET
+from .channels import FLINK_BATCH, FLINK_BROADCAST, FLINK_DATASET
 
 
 class _Flink(df.DataflowOperator):
@@ -110,7 +111,11 @@ class FlinkCache(_Flink):
     op_kind = "cache"
 
     def _run(self, inputs, bvals, ctx):
-        return inputs[0]
+        # Detach rather than alias: the cached dataset must survive a
+        # sibling branch mutating partition lists in place.
+        ch = inputs[0]
+        copied = PartitionedDataset([list(p) for p in ch.payload.partitions])
+        return ch.with_payload(copied, actual_count=ch.actual_count)
 
 
 class FlinkCollectionSink(_Flink):
@@ -128,3 +133,43 @@ class FlinkCollectionSink(_Flink):
                       ch.bytes_per_record, len(records))
         charge_operator(ctx, self, ch.sim_cardinality, out.sim_cardinality)
         return out
+
+
+class _FlinkBatch(_Flink, df.BatchDataflowOperator):
+    BATCH = FLINK_BATCH
+
+
+class FlinkBatchMap(_FlinkBatch, df.DFBatchMap):
+    """FlinkLite's binding of :class:`~repro.platforms.dataflow.DFBatchMap`."""
+
+
+class FlinkBatchFlatMap(_FlinkBatch, df.DFBatchFlatMap):
+    """FlinkLite's binding of :class:`~repro.platforms.dataflow.DFBatchFlatMap`."""
+
+
+class FlinkBatchFilter(_FlinkBatch, df.DFBatchFilter):
+    """FlinkLite's binding of :class:`~repro.platforms.dataflow.DFBatchFilter`."""
+
+
+class FlinkBatchDistinct(_FlinkBatch, df.DFBatchDistinct):
+    """FlinkLite's binding of :class:`~repro.platforms.dataflow.DFBatchDistinct`."""
+
+
+class FlinkBatchSort(_FlinkBatch, df.DFBatchSort):
+    """FlinkLite's binding of :class:`~repro.platforms.dataflow.DFBatchSort`."""
+
+
+class FlinkBatchGroupBy(_FlinkBatch, df.DFBatchGroupBy):
+    """FlinkLite's binding of :class:`~repro.platforms.dataflow.DFBatchGroupBy`."""
+
+
+class FlinkBatchReduceBy(_FlinkBatch, df.DFBatchReduceBy):
+    """FlinkLite's binding of :class:`~repro.platforms.dataflow.DFBatchReduceBy`."""
+
+
+class FlinkBatchUnion(_FlinkBatch, df.DFBatchUnion):
+    """FlinkLite's binding of :class:`~repro.platforms.dataflow.DFBatchUnion`."""
+
+
+class FlinkBatchJoin(_FlinkBatch, df.DFBatchJoin):
+    """FlinkLite's binding of :class:`~repro.platforms.dataflow.DFBatchJoin`."""

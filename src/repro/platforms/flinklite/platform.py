@@ -11,7 +11,7 @@ from ..base import Platform
 from ..distributed import PartitionedDataset
 from ..pystreams.channels import PY_COLLECTION
 from . import ops as x
-from .channels import FLINK_BROADCAST, FLINK_DATASET
+from .channels import FLINK_BATCH, FLINK_BROADCAST, FLINK_DATASET
 
 _tmp_counter = itertools.count(1)
 
@@ -30,6 +30,20 @@ def _to_collection(channel: Channel, ctx) -> Channel:
 def _to_broadcast(channel: Channel, ctx) -> Channel:
     return channel.with_payload(list(channel.payload), FLINK_BROADCAST,
                                 len(channel.payload))
+
+
+def _batchify(channel: Channel, ctx) -> Channel:
+    from ...core.batch import RecordBatch
+
+    batches = [RecordBatch.from_records(p)
+               for p in channel.payload.partitions]
+    return channel.with_payload(batches, FLINK_BATCH,
+                                sum(len(b) for b in batches))
+
+
+def _debatchify(channel: Channel, ctx) -> Channel:
+    dataset = PartitionedDataset([b.to_records() for b in channel.payload])
+    return channel.with_payload(dataset, FLINK_DATASET, dataset.count())
 
 
 def _save_to_hdfs(channel: Channel, ctx) -> Channel:
@@ -96,4 +110,33 @@ class FlinkLitePlatform(Platform):
             m(ops.PageRank, lambda op: [x.FlinkPageRank(op)]),
             m(ops.CollectionSink, lambda op: [x.FlinkCollectionSink(op)]),
             m(ops.TextFileSink, lambda op: [x.FlinkTextFileSink(op)]),
+        ]
+
+    # ------------------------------------------------- vectorized execution
+    def batch_channels(self):
+        return [FLINK_BATCH]
+
+    def batch_conversions(self):
+        # Pure representation changes within each partition: free, so plan
+        # costs are identical with vectorization on or off.
+        free = float("inf")
+        return [
+            Conversion(FLINK_DATASET, FLINK_BATCH, _batchify,
+                       mb_per_s=free, overhead_s=0.0, name="flink-batchify"),
+            Conversion(FLINK_BATCH, FLINK_DATASET, _debatchify,
+                       mb_per_s=free, overhead_s=0.0, name="flink-debatchify"),
+        ]
+
+    def batch_mappings(self):
+        m = OperatorMapping
+        return [
+            m(ops.Map, lambda op: [x.FlinkBatchMap(op)]),
+            m(ops.FlatMap, lambda op: [x.FlinkBatchFlatMap(op)]),
+            m(ops.Filter, lambda op: [x.FlinkBatchFilter(op)]),
+            m(ops.Distinct, lambda op: [x.FlinkBatchDistinct(op)]),
+            m(ops.Sort, lambda op: [x.FlinkBatchSort(op)]),
+            m(ops.GroupBy, lambda op: [x.FlinkBatchGroupBy(op)]),
+            m(ops.ReduceBy, lambda op: [x.FlinkBatchReduceBy(op)]),
+            m(ops.Union, lambda op: [x.FlinkBatchUnion(op)]),
+            m(ops.Join, lambda op: [x.FlinkBatchJoin(op)]),
         ]

@@ -95,7 +95,8 @@ class GLPageRank(_GL):
                                 self.logical.iterations, self.logical.damping)
         out = PartitionedDataset.from_records(sorted(ranks.items()),
                                               self._parallelism(ctx))
-        return self._emit(inputs[0], out, ctx)
+        return self._emit(inputs[0], out, ctx,
+                          sum(ch.sim_cardinality for ch in inputs))
 
 
 def _to_dataset(channel: Channel, ctx) -> Channel:

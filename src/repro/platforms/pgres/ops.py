@@ -13,9 +13,14 @@ from typing import Any, Sequence
 
 from ...core.channels import Channel
 from ...core.cost import CostEstimate
-from ..base import ExecutionOperator, charge_operator
+from ..base import ExecutionOperator, charge_operator, union_bytes_per_record
 from ..pystreams.channels import PY_COLLECTION
 from .channels import PG_RELATION, Relation
+
+
+def _cin(inputs: Sequence[Channel]) -> float:
+    """Simulated input cardinality an operator is charged for."""
+    return sum(ch.sim_cardinality for ch in inputs)
 
 
 class PgExecutionOperator(ExecutionOperator):
@@ -31,10 +36,16 @@ class PgExecutionOperator(ExecutionOperator):
         return PG_RELATION
 
     def _emit(self, template: Channel, rows: list[Any], ctx,
+              cin: float,
               base_table: str | None = None,
               sim_factor: float | None = None,
               bytes_per_record: float | None = None,
-              charge: bool = True) -> Channel:
+              charge: bool = True,
+              op_kind: str | None = None) -> Channel:
+        # ``cin`` is threaded through the call (not instance state): shared
+        # operator instances re-execute across loop iterations, concurrent
+        # lanes and cached plans.  ``op_kind`` overrides the charged kind
+        # when the run resolved it dynamically (index vs sequential scan).
         out = Channel(
             PG_RELATION,
             Relation(rows, base_table),
@@ -44,15 +55,13 @@ class PgExecutionOperator(ExecutionOperator):
             len(rows),
         )
         if charge:
-            cin = sum(ch.sim_cardinality for ch in self._charge_inputs)
-            charge_operator(ctx, self, cin, out.sim_cardinality)
+            charge_operator(ctx, self, cin, out.sim_cardinality, kind=op_kind)
         return out
 
     def execute(self, inputs: Sequence[Channel], broadcasts: Sequence[Channel],
                 ctx) -> Channel:
         if broadcasts:
             raise ValueError("pgres operators do not accept broadcast inputs")
-        self._charge_inputs = list(inputs)
         return self._run(inputs, ctx)
 
     def _run(self, inputs: Sequence[Channel], ctx) -> Channel:
@@ -82,21 +91,25 @@ class PgTableSource(PgExecutionOperator):
             base = table.name
         template = Channel(PG_RELATION, None, table.sim_factor,
                            table.bytes_per_row)
-        self._charge_inputs = []
-        return self._emit(template, rows, ctx, base_table=base,
+        return self._emit(template, rows, ctx, 0.0, base_table=base,
                           bytes_per_record=table.bytes_for_projection(projection))
 
 
 class PgFilter(PgExecutionOperator):
-    """WHERE clause: index scan when possible, else parallel seq scan."""
+    """WHERE clause: index scan when possible, else parallel seq scan.
 
-    def __init__(self, logical):
-        super().__init__(logical)
-        self._used_index = False
+    Whether the index applies is a pure function of the inputs and the
+    catalog — resolved per run and threaded into the charge, never stored
+    on the (shared, possibly concurrently executing) operator instance.
+    """
 
-    @property
-    def op_kind(self):
-        return "filter_index" if self._used_index else "filter"
+    op_kind = "filter"
+
+    def observed_op_kind(self, inputs, ctx) -> str:
+        relation: Relation = inputs[0].payload
+        if self._index(relation, ctx) is not None:
+            return "filter_index"
+        return "filter"
 
     def _index(self, relation: Relation, ctx):
         logical = self.logical
@@ -114,11 +127,11 @@ class PgFilter(PgExecutionOperator):
             table = ctx.pgres.table(relation.base_table)
             row_ids = index.range_row_ids(logical.low, logical.high)
             rows = [table.rows[i] for i in row_ids]
-            self._used_index = True
+            kind = "filter_index"
         else:
             rows = [r for r in relation.rows if logical.udf(r)]
-            self._used_index = False
-        return self._emit(inputs[0], rows, ctx)
+            kind = "filter"
+        return self._emit(inputs[0], rows, ctx, _cin(inputs), op_kind=kind)
 
 
 class PgProjection(PgExecutionOperator):
@@ -129,7 +142,7 @@ class PgProjection(PgExecutionOperator):
     def _run(self, inputs, ctx):
         udf = self.logical.udf
         rows = [udf(r) for r in inputs[0].payload.rows]
-        return self._emit(inputs[0], rows, ctx)
+        return self._emit(inputs[0], rows, ctx, _cin(inputs))
 
 
 class PgJoin(PgExecutionOperator):
@@ -145,7 +158,7 @@ class PgJoin(PgExecutionOperator):
             table.setdefault(rk(r), []).append(r)
         rows = [(l, r) for l in a.payload.rows for r in table.get(lk(l), ())]
         factor = self.logical.output_sim_factor(a.sim_factor, b.sim_factor)
-        return self._emit(a, rows, ctx, sim_factor=factor,
+        return self._emit(a, rows, ctx, _cin(inputs), sim_factor=factor,
                           bytes_per_record=a.bytes_per_record + b.bytes_per_record)
 
 
@@ -170,7 +183,7 @@ class PgIEJoin(PgExecutionOperator):
                 for l in a.payload.rows
                 for r in b.payload.rows
                 if all(c.holds(l, r) for c in conditions)]
-        out = self._emit(a, rows, ctx,
+        out = self._emit(a, rows, ctx, _cin(inputs),
                          sim_factor=max(a.sim_factor, b.sim_factor),
                          bytes_per_record=a.bytes_per_record + b.bytes_per_record,
                          charge=False)
@@ -188,7 +201,7 @@ class PgSort(PgExecutionOperator):
         rows = sorted(inputs[0].payload.rows,
                       key=key if key is not None else None,
                       reverse=self.logical.descending)
-        return self._emit(inputs[0], rows, ctx)
+        return self._emit(inputs[0], rows, ctx, _cin(inputs))
 
 
 class PgDistinct(PgExecutionOperator):
@@ -203,7 +216,7 @@ class PgDistinct(PgExecutionOperator):
             if k not in seen:
                 seen.add(k)
                 rows.append(r)
-        return self._emit(inputs[0], rows, ctx)
+        return self._emit(inputs[0], rows, ctx, _cin(inputs))
 
 
 def _group_factor(logical, actual_groups: int, input_factor: float):
@@ -228,7 +241,7 @@ class PgGroupBy(PgExecutionOperator):
         groups: dict[Any, list[Any]] = {}
         for r in inputs[0].payload.rows:
             groups.setdefault(key(r), []).append(r)
-        return self._emit(inputs[0], list(groups.items()), ctx,
+        return self._emit(inputs[0], list(groups.items()), ctx, _cin(inputs),
                           sim_factor=_group_factor(self.logical, len(groups),
                                                    inputs[0].sim_factor))
 
@@ -245,7 +258,7 @@ class PgReduceBy(PgExecutionOperator):
         for r in inputs[0].payload.rows:
             k = key(r)
             acc[k] = r if k not in acc else reducer(acc[k], r)
-        return self._emit(inputs[0], list(acc.values()), ctx,
+        return self._emit(inputs[0], list(acc.values()), ctx, _cin(inputs),
                           sim_factor=_group_factor(self.logical, len(acc),
                                                    inputs[0].sim_factor))
 
@@ -262,7 +275,7 @@ class PgGlobalReduce(PgExecutionOperator):
             for r in rows[1:]:
                 acc = reducer(acc, r)
             out = [acc]
-        return self._emit(inputs[0], out, ctx, sim_factor=1.0)
+        return self._emit(inputs[0], out, ctx, _cin(inputs), sim_factor=1.0)
 
 
 class PgCount(PgExecutionOperator):
@@ -270,7 +283,7 @@ class PgCount(PgExecutionOperator):
 
     def _run(self, inputs, ctx):
         return self._emit(inputs[0], [len(inputs[0].payload.rows)], ctx,
-                          sim_factor=1.0)
+                          _cin(inputs), sim_factor=1.0)
 
 
 class PgUnion(PgExecutionOperator):
@@ -283,7 +296,10 @@ class PgUnion(PgExecutionOperator):
         rows = list(a.payload.rows) + list(b.payload.rows)
         total_sim = a.sim_cardinality + b.sim_cardinality
         factor = total_sim / len(rows) if rows else 1.0
-        return self._emit(a, rows, ctx, sim_factor=factor)
+        # Width is the cardinality-weighted mix of both branches, not the
+        # left branch's alone (branches can have very different row widths).
+        return self._emit(a, rows, ctx, _cin(inputs), sim_factor=factor,
+                          bytes_per_record=union_bytes_per_record(a, b))
 
 
 class PgIntersect(PgExecutionOperator):
@@ -299,7 +315,7 @@ class PgIntersect(PgExecutionOperator):
             if k in right and k not in seen:
                 seen.add(k)
                 rows.append(r)
-        return self._emit(a, rows, ctx)
+        return self._emit(a, rows, ctx, _cin(inputs))
 
 
 class PgCollectionSink(PgExecutionOperator):
@@ -317,3 +333,23 @@ class PgCollectionSink(PgExecutionOperator):
                       len(rows))
         charge_operator(ctx, self, ch.sim_cardinality, out.sim_cardinality)
         return out
+
+
+class PgBatchFilter(PgFilter):
+    """Vectorized WHERE clause: the sequential-scan path runs one columnar
+    kernel over the whole relation instead of a per-row predicate call.
+
+    Pgres keeps its relational channel — vectorization happens inside the
+    operator — so index selection, charges and ``observed_op_kind`` are
+    exactly ``PgFilter``'s, and the output is the same list of rows.
+    """
+
+    def _run(self, inputs, ctx):
+        relation: Relation = inputs[0].payload
+        if self._index(relation, ctx) is not None:
+            return super()._run(inputs, ctx)
+        from ...core.batch import RecordBatch, apply_filter
+
+        batch = RecordBatch.from_records(relation.rows)
+        rows = apply_filter(self.logical, batch).to_records()
+        return self._emit(inputs[0], rows, ctx, _cin(inputs), op_kind="filter")

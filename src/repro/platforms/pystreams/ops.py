@@ -13,8 +13,13 @@ from typing import Any, Sequence
 from ...algorithms.iejoin import ie_join
 from ...algorithms.pagerank import pagerank_edges
 from ...core.channels import Channel
-from ..base import ExecutionOperator, charge_operator
+from ..base import ExecutionOperator, charge_operator, union_bytes_per_record
 from .channels import PY_COLLECTION
+
+
+def _cin(inputs: Sequence[Channel]) -> float:
+    """Simulated input cardinality an operator is charged for."""
+    return sum(ch.sim_cardinality for ch in inputs)
 
 
 class PyExecutionOperator(ExecutionOperator):
@@ -33,9 +38,16 @@ class PyExecutionOperator(ExecutionOperator):
         return PY_COLLECTION
 
     def _emit(self, template: Channel, payload: list[Any], ctx,
+              cin: float,
               sim_factor: float | None = None,
               bytes_per_record: float | None = None) -> Channel:
-        """Build the output channel and charge this operator's cost."""
+        """Build the output channel and charge this operator's cost.
+
+        ``cin`` is the simulated input cardinality the charge is based on,
+        threaded through the call explicitly: a shared operator instance
+        re-executed across loop iterations or concurrent scheduler lanes
+        must never read charge inputs from mutable instance state.
+        """
         out = Channel(
             PY_COLLECTION,
             payload,
@@ -44,13 +56,11 @@ class PyExecutionOperator(ExecutionOperator):
              else bytes_per_record),
             len(payload),
         )
-        cin = sum(ch.sim_cardinality for ch in self._charge_inputs)
         charge_operator(ctx, self, cin, out.sim_cardinality)
         return out
 
     def execute(self, inputs: Sequence[Channel], broadcasts: Sequence[Channel],
                 ctx) -> Channel:
-        self._charge_inputs = list(inputs)
         return self._run(inputs, [b.payload for b in broadcasts], ctx)
 
     def _run(self, inputs: Sequence[Channel], bvals: list[Any], ctx) -> Channel:
@@ -71,8 +81,7 @@ class PyTextFileSource(PyExecutionOperator):
                          "pystreams.read", category="io")
         ch = Channel(PY_COLLECTION, list(vf.records), vf.sim_factor,
                      vf.bytes_per_record, len(vf.records))
-        self._charge_inputs = []
-        return self._emit(ch, ch.payload, ctx)
+        return self._emit(ch, ch.payload, ctx, 0.0)
 
 
 class PyCollectionSource(PyExecutionOperator):
@@ -85,10 +94,8 @@ class PyCollectionSource(PyExecutionOperator):
 
     def _run(self, inputs, bvals, ctx):
         data = list(self.logical.data)
-        ch = Channel(PY_COLLECTION, data, self.logical.sim_factor,
-                     self.logical.bytes_per_record, len(data))
-        self._charge_inputs = []
-        return ch
+        return Channel(PY_COLLECTION, data, self.logical.sim_factor,
+                       self.logical.bytes_per_record, len(data))
 
 
 class PyMap(PyExecutionOperator):
@@ -97,7 +104,7 @@ class PyMap(PyExecutionOperator):
     def _run(self, inputs, bvals, ctx):
         udf = self.logical.udf
         out = [udf(x, *bvals) for x in inputs[0].payload]
-        return self._emit(inputs[0], out, ctx,
+        return self._emit(inputs[0], out, ctx, _cin(inputs),
                           bytes_per_record=self.logical.bytes_per_record)
 
 
@@ -107,7 +114,7 @@ class PyFlatMap(PyExecutionOperator):
     def _run(self, inputs, bvals, ctx):
         udf = self.logical.udf
         out = [y for x in inputs[0].payload for y in udf(x, *bvals)]
-        return self._emit(inputs[0], out, ctx,
+        return self._emit(inputs[0], out, ctx, _cin(inputs),
                           bytes_per_record=self.logical.bytes_per_record)
 
 
@@ -118,7 +125,7 @@ class PyMapPartitions(PyExecutionOperator):
 
     def _run(self, inputs, bvals, ctx):
         out = list(self.logical.udf(list(inputs[0].payload), *bvals))
-        return self._emit(inputs[0], out, ctx,
+        return self._emit(inputs[0], out, ctx, _cin(inputs),
                           bytes_per_record=self.logical.bytes_per_record)
 
 
@@ -127,7 +134,7 @@ class PyZipWithId(PyExecutionOperator):
 
     def _run(self, inputs, bvals, ctx):
         out = list(enumerate(inputs[0].payload))
-        return self._emit(inputs[0], out, ctx)
+        return self._emit(inputs[0], out, ctx, _cin(inputs))
 
 
 class PyFilter(PyExecutionOperator):
@@ -136,17 +143,13 @@ class PyFilter(PyExecutionOperator):
     def _run(self, inputs, bvals, ctx):
         udf = self.logical.udf
         out = [x for x in inputs[0].payload if udf(x, *bvals)]
-        return self._emit(inputs[0], out, ctx)
+        return self._emit(inputs[0], out, ctx, _cin(inputs))
 
 
 class PySample(PyExecutionOperator):
     """Draws a sample; index-based, so cost scales with the sample size."""
 
     op_kind = "sample"
-
-    def __init__(self, logical):
-        super().__init__(logical)
-        self._invocations = 0
 
     def _run(self, inputs, bvals, ctx):
         data = inputs[0].payload
@@ -158,12 +161,15 @@ class PySample(PyExecutionOperator):
         if logical.method == "first":
             out = list(data[:k])
         else:
+            # Seeded purely from (context seed, logical seed, op name,
+            # loop-iteration epoch): a crash-retried attempt of the same
+            # iteration draws the identical sample, while successive loop
+            # iterations still get fresh draws.
             seed = (f"{ctx.config.get('seed', 42)}|{logical.seed}"
-                    f"|{logical.name}|{self._invocations}")
+                    f"|{logical.name}|{ctx.epoch}")
             rng = random.Random(seed)
             out = [data[rng.randrange(len(data))] for __ in range(k)] if data else []
-        self._invocations += 1
-        return self._emit(inputs[0], out, ctx, sim_factor=1.0)
+        return self._emit(inputs[0], out, ctx, _cin(inputs), sim_factor=1.0)
 
 
 class PyDistinct(PyExecutionOperator):
@@ -184,7 +190,7 @@ class PyDistinct(PyExecutionOperator):
                 if k not in seen:
                     seen.add(k)
                     out.append(x)
-        return self._emit(inputs[0], out, ctx)
+        return self._emit(inputs[0], out, ctx, _cin(inputs))
 
 
 class PySort(PyExecutionOperator):
@@ -195,7 +201,7 @@ class PySort(PyExecutionOperator):
         out = sorted(inputs[0].payload,
                      key=key if key is not None else None,
                      reverse=self.logical.descending)
-        return self._emit(inputs[0], out, ctx)
+        return self._emit(inputs[0], out, ctx, _cin(inputs))
 
 
 def _group_factor(logical, actual_groups: int, input_factor: float):
@@ -221,7 +227,7 @@ class PyGroupBy(PyExecutionOperator):
         groups: dict[Any, list[Any]] = {}
         for x in inputs[0].payload:
             groups.setdefault(key(x), []).append(x)
-        return self._emit(inputs[0], list(groups.items()), ctx,
+        return self._emit(inputs[0], list(groups.items()), ctx, _cin(inputs),
                           sim_factor=_group_factor(self.logical, len(groups),
                                                    inputs[0].sim_factor))
 
@@ -242,7 +248,7 @@ class PyReduceGroups(PyExecutionOperator):
             for m in members[1:]:
                 acc = reducer(acc, m)
             out.append(acc)
-        return self._emit(inputs[0], out, ctx)
+        return self._emit(inputs[0], out, ctx, _cin(inputs))
 
 
 class PyReduceBy(PyExecutionOperator):
@@ -255,7 +261,7 @@ class PyReduceBy(PyExecutionOperator):
         for x in inputs[0].payload:
             k = key(x)
             acc[k] = x if k not in acc else reducer(acc[k], x)
-        return self._emit(inputs[0], list(acc.values()), ctx,
+        return self._emit(inputs[0], list(acc.values()), ctx, _cin(inputs),
                           sim_factor=_group_factor(self.logical, len(acc),
                                                    inputs[0].sim_factor))
 
@@ -272,7 +278,7 @@ class PyGlobalReduce(PyExecutionOperator):
             for x in data[1:]:
                 acc = reducer(acc, x)
             out = [acc]
-        return self._emit(inputs[0], out, ctx, sim_factor=1.0)
+        return self._emit(inputs[0], out, ctx, _cin(inputs), sim_factor=1.0)
 
 
 class PyCount(PyExecutionOperator):
@@ -280,7 +286,7 @@ class PyCount(PyExecutionOperator):
 
     def _run(self, inputs, bvals, ctx):
         return self._emit(inputs[0], [len(inputs[0].payload)], ctx,
-                          sim_factor=1.0)
+                          _cin(inputs), sim_factor=1.0)
 
 
 class PyCache(PyExecutionOperator):
@@ -289,7 +295,9 @@ class PyCache(PyExecutionOperator):
     op_kind = "cache"
 
     def _run(self, inputs, bvals, ctx):
-        return inputs[0]
+        # Detach rather than alias: the cached payload must survive a
+        # sibling branch mutating its container in place.
+        return inputs[0].detached()
 
 
 class PyUnion(PyExecutionOperator):
@@ -301,7 +309,8 @@ class PyUnion(PyExecutionOperator):
         total_actual = len(payload)
         total_sim = (a.sim_cardinality + b.sim_cardinality)
         factor = total_sim / total_actual if total_actual else 1.0
-        return self._emit(a, payload, ctx, sim_factor=factor)
+        return self._emit(a, payload, ctx, _cin(inputs), sim_factor=factor,
+                          bytes_per_record=union_bytes_per_record(a, b))
 
 
 class PyIntersect(PyExecutionOperator):
@@ -316,7 +325,7 @@ class PyIntersect(PyExecutionOperator):
             if x in right and x not in seen:
                 seen.add(x)
                 out.append(x)
-        return self._emit(a, out, ctx)
+        return self._emit(a, out, ctx, _cin(inputs))
 
 
 class PyJoin(PyExecutionOperator):
@@ -333,7 +342,8 @@ class PyJoin(PyExecutionOperator):
         out = [(l, r) for l in a.payload for r in table.get(lk(l), ())]
         factor = self.logical.output_sim_factor(a.sim_factor, b.sim_factor)
         bpr = a.bytes_per_record + b.bytes_per_record
-        return self._emit(a, out, ctx, sim_factor=factor, bytes_per_record=bpr)
+        return self._emit(a, out, ctx, _cin(inputs), sim_factor=factor,
+                          bytes_per_record=bpr)
 
 
 class PyCartesian(PyExecutionOperator):
@@ -344,7 +354,8 @@ class PyCartesian(PyExecutionOperator):
         out = [(l, r) for l in a.payload for r in b.payload]
         factor = a.sim_factor * b.sim_factor
         bpr = a.bytes_per_record + b.bytes_per_record
-        return self._emit(a, out, ctx, sim_factor=factor, bytes_per_record=bpr)
+        return self._emit(a, out, ctx, _cin(inputs), sim_factor=factor,
+                          bytes_per_record=bpr)
 
 
 class PyIEJoin(PyExecutionOperator):
@@ -359,7 +370,8 @@ class PyIEJoin(PyExecutionOperator):
         out = ie_join(a.payload, b.payload, conditions)
         factor = max(a.sim_factor, b.sim_factor)
         bpr = a.bytes_per_record + b.bytes_per_record
-        return self._emit(a, out, ctx, sim_factor=factor, bytes_per_record=bpr)
+        return self._emit(a, out, ctx, _cin(inputs), sim_factor=factor,
+                          bytes_per_record=bpr)
 
 
 class PyPageRank(PyExecutionOperator):
@@ -371,7 +383,7 @@ class PyPageRank(PyExecutionOperator):
         ranks = pagerank_edges(inputs[0].payload,
                                self.logical.iterations, self.logical.damping)
         out = sorted(ranks.items())
-        return self._emit(inputs[0], out, ctx)
+        return self._emit(inputs[0], out, ctx, _cin(inputs))
 
 
 class PyCollectionSink(PyExecutionOperator):
@@ -380,7 +392,9 @@ class PyCollectionSink(PyExecutionOperator):
     op_kind = "sink"
 
     def _run(self, inputs, bvals, ctx):
-        return inputs[0]
+        # Detach: the sunk result list must not alias a channel a sibling
+        # branch may still mutate through.
+        return inputs[0].detached()
 
 
 class PyTextFileSink(PyExecutionOperator):
@@ -394,4 +408,4 @@ class PyTextFileSink(PyExecutionOperator):
                       ch.sim_factor, ch.bytes_per_record)
         ctx.meter.charge(ctx.profile(self.platform).io_seconds(ch.sim_mb),
                          "pystreams.write", category="io")
-        return ch
+        return ch.detached()

@@ -10,8 +10,10 @@ from __future__ import annotations
 from ...core.channels import Channel
 from .. import dataflow as df
 from ..base import charge_operator
+from ..distributed import PartitionedDataset
 from ..pystreams.channels import PY_COLLECTION
-from .channels import SPARK_BROADCAST, SPARK_CACHED, SPARK_RDD
+from .channels import (SPARK_BATCH, SPARK_BROADCAST, SPARK_CACHED,
+                       SPARK_RDD)
 
 
 class _Spark(df.DataflowOperator):
@@ -114,8 +116,11 @@ class SparkCache(_Spark):
 
     def _run(self, inputs, bvals, ctx):
         ch = inputs[0]
-        out = Channel(SPARK_CACHED, ch.payload, ch.sim_factor,
-                      ch.bytes_per_record, ch.payload.count())
+        # The cached copy is detached from the upstream RDD: partition
+        # lists are mutable, and the cache outlives this stage.
+        copied = PartitionedDataset([list(p) for p in ch.payload.partitions])
+        out = Channel(SPARK_CACHED, copied, ch.sim_factor,
+                      ch.bytes_per_record, copied.count())
         charge_operator(ctx, self, ch.sim_cardinality, out.sim_cardinality)
         return out
 
@@ -141,3 +146,43 @@ class SparkCollectionSink(_Spark):
                       ch.bytes_per_record, len(records))
         charge_operator(ctx, self, ch.sim_cardinality, out.sim_cardinality)
         return out
+
+
+class _SparkBatch(_Spark, df.BatchDataflowOperator):
+    BATCH = SPARK_BATCH
+
+
+class SparkBatchMap(_SparkBatch, df.DFBatchMap):
+    """SparkLite's binding of :class:`~repro.platforms.dataflow.DFBatchMap`."""
+
+
+class SparkBatchFlatMap(_SparkBatch, df.DFBatchFlatMap):
+    """SparkLite's binding of :class:`~repro.platforms.dataflow.DFBatchFlatMap`."""
+
+
+class SparkBatchFilter(_SparkBatch, df.DFBatchFilter):
+    """SparkLite's binding of :class:`~repro.platforms.dataflow.DFBatchFilter`."""
+
+
+class SparkBatchDistinct(_SparkBatch, df.DFBatchDistinct):
+    """SparkLite's binding of :class:`~repro.platforms.dataflow.DFBatchDistinct`."""
+
+
+class SparkBatchSort(_SparkBatch, df.DFBatchSort):
+    """SparkLite's binding of :class:`~repro.platforms.dataflow.DFBatchSort`."""
+
+
+class SparkBatchGroupBy(_SparkBatch, df.DFBatchGroupBy):
+    """SparkLite's binding of :class:`~repro.platforms.dataflow.DFBatchGroupBy`."""
+
+
+class SparkBatchReduceBy(_SparkBatch, df.DFBatchReduceBy):
+    """SparkLite's binding of :class:`~repro.platforms.dataflow.DFBatchReduceBy`."""
+
+
+class SparkBatchUnion(_SparkBatch, df.DFBatchUnion):
+    """SparkLite's binding of :class:`~repro.platforms.dataflow.DFBatchUnion`."""
+
+
+class SparkBatchJoin(_SparkBatch, df.DFBatchJoin):
+    """SparkLite's binding of :class:`~repro.platforms.dataflow.DFBatchJoin`."""

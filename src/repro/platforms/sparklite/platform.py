@@ -11,7 +11,8 @@ from ..base import Platform
 from ..distributed import PartitionedDataset
 from ..pystreams.channels import PY_COLLECTION
 from . import ops as x
-from .channels import SPARK_BROADCAST, SPARK_CACHED, SPARK_RDD
+from .channels import (SPARK_BATCH, SPARK_BROADCAST, SPARK_CACHED,
+                       SPARK_RDD)
 
 _tmp_counter = itertools.count(1)
 
@@ -40,6 +41,20 @@ def _uncache(channel: Channel, ctx) -> Channel:
 def _to_broadcast(channel: Channel, ctx) -> Channel:
     return channel.with_payload(list(channel.payload), SPARK_BROADCAST,
                                 len(channel.payload))
+
+
+def _batchify(channel: Channel, ctx) -> Channel:
+    from ...core.batch import RecordBatch
+
+    batches = [RecordBatch.from_records(p)
+               for p in channel.payload.partitions]
+    return channel.with_payload(batches, SPARK_BATCH,
+                                sum(len(b) for b in batches))
+
+
+def _debatchify(channel: Channel, ctx) -> Channel:
+    dataset = PartitionedDataset([b.to_records() for b in channel.payload])
+    return channel.with_payload(dataset, SPARK_RDD, dataset.count())
 
 
 def _save_to_hdfs(channel: Channel, ctx) -> Channel:
@@ -115,4 +130,33 @@ class SparkLitePlatform(Platform):
             m(ops.PageRank, lambda op: [x.SparkPageRank(op)]),
             m(ops.CollectionSink, lambda op: [x.SparkCollectionSink(op)]),
             m(ops.TextFileSink, lambda op: [x.SparkTextFileSink(op)]),
+        ]
+
+    # ------------------------------------------------- vectorized execution
+    def batch_channels(self):
+        return [SPARK_BATCH]
+
+    def batch_conversions(self):
+        # Pure representation changes within each partition: free, so plan
+        # costs are identical with vectorization on or off.
+        free = float("inf")
+        return [
+            Conversion(SPARK_RDD, SPARK_BATCH, _batchify,
+                       mb_per_s=free, overhead_s=0.0, name="spark-batchify"),
+            Conversion(SPARK_BATCH, SPARK_RDD, _debatchify,
+                       mb_per_s=free, overhead_s=0.0, name="spark-debatchify"),
+        ]
+
+    def batch_mappings(self):
+        m = OperatorMapping
+        return [
+            m(ops.Map, lambda op: [x.SparkBatchMap(op)]),
+            m(ops.FlatMap, lambda op: [x.SparkBatchFlatMap(op)]),
+            m(ops.Filter, lambda op: [x.SparkBatchFilter(op)]),
+            m(ops.Distinct, lambda op: [x.SparkBatchDistinct(op)]),
+            m(ops.Sort, lambda op: [x.SparkBatchSort(op)]),
+            m(ops.GroupBy, lambda op: [x.SparkBatchGroupBy(op)]),
+            m(ops.ReduceBy, lambda op: [x.SparkBatchReduceBy(op)]),
+            m(ops.Union, lambda op: [x.SparkBatchUnion(op)]),
+            m(ops.Join, lambda op: [x.SparkBatchJoin(op)]),
         ]

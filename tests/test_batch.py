@@ -1,0 +1,347 @@
+"""Unit tests for the columnar :class:`RecordBatch` and its kernels.
+
+The batch layer's contract is exactness: ``to_records`` must reconstruct
+the original records bit-for-bit, and every kernel must reproduce the
+per-record engines' output order and values.  These tests pin the layout
+rules, the numpy-backing edge cases (where a silent fallback would cost
+only speed but a wrong conversion would cost correctness), and the join
+fast paths against a reference implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    RecordBatch,
+    apply_filter,
+    apply_join,
+    apply_sort,
+    fold_by_key_columns,
+    join_indices,
+    sort_order,
+)
+from repro.workloads.tpch import (
+    SF1_ROWS,
+    TpchLite,
+    _to_csv,
+    parse_batch,
+    parse_row,
+)
+
+
+class TestLayouts:
+    def test_dict_layout_round_trip(self):
+        rows = [{"a": i, "b": float(i), "c": f"s{i}"} for i in range(10)]
+        batch = RecordBatch.from_records(rows)
+        assert batch.kind == "dict"
+        assert batch.names == ("a", "b", "c")
+        assert batch.to_records() == rows
+
+    def test_tuple_layout_round_trip(self):
+        rows = [(i, i * 2.5) for i in range(7)]
+        batch = RecordBatch.from_records(rows)
+        assert batch.kind == "tuple"
+        assert batch.to_records() == rows
+
+    def test_scalar_layout_round_trip(self):
+        rows = ["alpha", "beta", "gamma"]
+        batch = RecordBatch.from_records(rows)
+        assert batch.kind == "scalar"
+        assert batch.to_records() == rows
+
+    def test_heterogeneous_records_fall_back_to_scalar(self):
+        rows = [{"a": 1}, (2, 3), "four"]
+        batch = RecordBatch.from_records(rows)
+        assert batch.kind == "scalar"
+        assert batch.to_records() == rows
+
+    def test_mixed_key_dicts_fall_back_to_scalar(self):
+        rows = [{"a": 1}, {"b": 2}]
+        batch = RecordBatch.from_records(rows)
+        assert batch.kind == "scalar"
+        assert batch.to_records() == rows
+
+    def test_empty_batch(self):
+        batch = RecordBatch.from_records([])
+        assert len(batch) == 0
+        assert batch.to_records() == []
+
+    def test_pair_round_trip(self):
+        left = RecordBatch.from_records([{"k": 1}, {"k": 2}])
+        right = RecordBatch.from_records([(1, "x"), (2, "y")])
+        batch = RecordBatch.pair(left, right)
+        assert batch.to_records() == [({"k": 1}, (1, "x")),
+                                      ({"k": 2}, (2, "y"))]
+
+
+class TestNumpyBacking:
+    def test_homogeneous_columns_are_numpy_backed(self):
+        rows = [{"i": n, "f": n / 3.0, "s": f"v{n}"} for n in range(5)]
+        batch = RecordBatch.from_records(rows)
+        for name in ("i", "f", "s"):
+            assert batch.array(name) is not None
+
+    def test_scalar_string_lines_are_numpy_backed(self):
+        # Regression: the scalar layout used to skip _make_column, so a
+        # column of CSV lines never vectorized and parse_batch silently
+        # fell back to the per-record parse.
+        batch = RecordBatch.from_records(["1|2", "3|4"])
+        assert batch.array(0) is not None
+        assert batch.array(0).dtype.kind == "U"
+
+    def test_backing_arrays_are_read_only(self):
+        batch = RecordBatch.from_records([1, 2, 3])
+        arr = batch.array(0)
+        assert not arr.flags.writeable
+        with pytest.raises(ValueError):
+            arr[0] = 99
+
+    def test_bool_stays_off_the_int_path(self):
+        # bool is an int subclass; np.int64 would turn True into 1 and
+        # break to_records exactness.
+        rows = [True, False, True]
+        batch = RecordBatch.from_records(rows)
+        assert batch.array(0) is None
+        out = batch.to_records()
+        assert out == rows and all(type(v) is bool for v in out)
+
+    def test_mixed_bool_int_stays_object(self):
+        batch = RecordBatch.from_records([True, 1])
+        assert batch.array(0) is None
+        assert [type(v) for v in batch.to_records()] == [bool, int]
+
+    def test_int64_overflow_stays_object(self):
+        rows = [2**63, -5, 7]
+        batch = RecordBatch.from_records(rows)
+        assert batch.array(0) is None
+        assert batch.to_records() == rows
+
+    def test_trailing_nul_strings_stay_object(self):
+        # numpy's fixed-width unicode dtype drops trailing NULs, which
+        # would silently shorten the strings on round-trip.
+        rows = ["a\x00", "b"]
+        batch = RecordBatch.from_records(rows)
+        assert batch.array(0) is None
+        assert batch.to_records() == rows
+
+    def test_scalar_records_are_plain_python_types(self):
+        # Regression: the scalar layout used list(column), and iterating
+        # a numpy array yields numpy scalars — np.str_ keys leaked into
+        # wordcount results and np.int64 (not an int subclass) into
+        # downstream records.
+        for rows in (["to be", "or not"], [1, 2], [0.5, 1.5]):
+            out = RecordBatch.from_records(rows).to_records()
+            assert out == rows
+            assert [type(v) for v in out] == [type(v) for v in rows]
+
+    def test_int_float_round_trip_is_exact(self):
+        ints = [0, -1, 2**62, -(2**63), 2**63 - 1]
+        floats = [0.1, -0.0, 1e-308, 1.7976931348623157e308, 2.0**-1074]
+        assert RecordBatch.from_records(ints).to_records() == ints
+        out = RecordBatch.from_records(floats).to_records()
+        assert [v.hex() for v in out] == [v.hex() for v in floats]
+
+
+class TestKernels:
+    def test_take_orders_rows(self):
+        batch = RecordBatch.from_records([{"v": i} for i in range(5)])
+        out = batch.take(np.array([3, 0, 3]))
+        assert out.to_records() == [{"v": 3}, {"v": 0}, {"v": 3}]
+
+    def test_mask_preserves_order(self):
+        batch = RecordBatch.from_records(list(range(6)))
+        out = batch.mask(np.array([1, 0, 1, 0, 0, 1], dtype=bool))
+        assert out.to_records() == [0, 2, 5]
+
+    def test_concat_mixed_layouts(self):
+        a = RecordBatch.from_records([{"v": 1}])
+        b = RecordBatch.from_records([(2, 3)])
+        assert RecordBatch.concat([a, b]).to_records() == [{"v": 1}, (2, 3)]
+
+    def test_concat_same_layout_preserves_order(self):
+        a = RecordBatch.from_records([1, 2])
+        b = RecordBatch.from_records([3])
+        out = RecordBatch.concat([a, b])
+        assert out.to_records() == [1, 2, 3]
+        assert not out.array(0).flags.writeable
+
+    def test_sort_order_matches_python_stability(self):
+        keys = [3, 1, 3, 2, 1]
+        rows = list(enumerate(keys))
+        for descending in (False, True):
+            order = sort_order(np.array(keys), descending)
+            got = [rows[i] for i in order.tolist()]
+            # Python's sort is stable in BOTH directions: reverse=True
+            # must not reverse ties.
+            assert got == sorted(rows, key=lambda t: t[1],
+                                 reverse=descending)
+
+    def test_fold_by_key_matches_legacy_fold(self):
+        rows = [("a", 1.0), ("b", 2.0), ("a", 0.5), ("a", 4.0), ("b", 8.0)]
+        batch = RecordBatch.from_records(rows)
+        out = fold_by_key_columns(batch, 0, 1, lambda a, b: a + b)
+        acc: dict = {}
+        for k, v in rows:
+            acc[k] = acc[k] + v if k in acc else v
+        assert out.to_records() == list(acc.items())
+
+
+def _reference_join(left_keys, right_keys):
+    """The per-record engines' hash join, as index pairs."""
+    table: dict = {}
+    for j, k in enumerate(right_keys):
+        table.setdefault(k, []).append(j)
+    li, ri = [], []
+    for i, k in enumerate(left_keys):
+        for j in table.get(k, ()):
+            li.append(i)
+            ri.append(j)
+    return li, ri
+
+
+class TestJoinIndices:
+    @pytest.mark.parametrize("left,right", [
+        # Dense integer keys: exercises the direct-address run table.
+        ([3, 1, 4, 1, 5, 9, 2], [1, 1, 2, 3, 5, 8]),
+        # Sparse keys whose span rules the table out: binary-search path.
+        ([0, 10**15, 7], [10**15, 7, 0, 10**15]),
+        # Duplicates on both sides; output must be left order crossed
+        # with right insertion order.
+        ([2, 2, 1], [1, 2, 2, 1]),
+        # Negative keys and out-of-range probes.
+        ([-5, 0, 99, -6], [-5, -5, 0]),
+        # Empty left side.
+        ([], [1, 2]),
+        # Empty right side.
+        ([1, 2], []),
+    ])
+    def test_matches_reference_hash_join(self, left, right):
+        li, ri = join_indices(np.array(left, dtype=np.int64),
+                              np.array(right, dtype=np.int64))
+        ref_li, ref_ri = _reference_join(left, right)
+        assert li.tolist() == ref_li
+        assert ri.tolist() == ref_ri
+
+    def test_float_keys_use_search_path(self):
+        left = [1.5, 2.5, 1.5]
+        right = [2.5, 1.5, 2.5]
+        li, ri = join_indices(np.array(left), np.array(right))
+        ref_li, ref_ri = _reference_join(left, right)
+        assert li.tolist() == ref_li and ri.tolist() == ref_ri
+
+    def test_randomized_dense_keys_match_reference(self):
+        rng = np.random.default_rng(7)
+        left = rng.integers(0, 50, size=300)
+        right = rng.integers(0, 50, size=80)
+        li, ri = join_indices(left.astype(np.int64), right.astype(np.int64))
+        ref_li, ref_ri = _reference_join(left.tolist(), right.tolist())
+        assert li.tolist() == ref_li and ri.tolist() == ref_ri
+
+
+class _Join:
+    """Minimal logical-join stand-in for apply_join."""
+
+    def __init__(self, left_key, right_key, left_col=None, right_col=None):
+        self.left_key = left_key
+        self.right_key = right_key
+        self.left_key_column = left_col
+        self.right_key_column = right_col
+
+
+class TestApplyJoin:
+    def test_vectorized_and_fallback_paths_agree(self):
+        left = [{"k": i % 3, "l": i} for i in range(9)]
+        right = [{"k": i % 4, "r": i} for i in range(8)]
+        logical = _Join(lambda x: x["k"], lambda x: x["k"], "k", "k")
+        fast = apply_join(logical, RecordBatch.from_records(left),
+                          RecordBatch.from_records(right))
+        slow = apply_join(_Join(lambda x: x["k"], lambda x: x["k"]),
+                          RecordBatch.from_records(left),
+                          RecordBatch.from_records(right))
+        expected = [(l, r) for l in left for r in right if l["k"] == r["k"]]
+        assert fast.to_records() == expected
+        assert slow.to_records() == expected
+
+    def test_nan_keys_fall_back_to_hash_semantics(self):
+        # NaN != NaN in the legacy hash join; the sort-based fast path
+        # would pair them, so it must decline.
+        nan = float("nan")
+        left = [{"k": nan, "l": 0}, {"k": 1.0, "l": 1}]
+        right = [{"k": nan, "r": 0}, {"k": 1.0, "r": 1}]
+        logical = _Join(lambda x: x["k"], lambda x: x["k"], "k", "k")
+        out = apply_join(logical, RecordBatch.from_records(left),
+                         RecordBatch.from_records(right))
+        assert out.to_records() == [({"k": 1.0, "l": 1}, {"k": 1.0, "r": 1})]
+
+
+class _Filter:
+    def __init__(self, udf=None, column=None, low=None, high=None):
+        self.udf = udf
+        self.column = column
+        self.low = low
+        self.high = high
+        self.batch_udf = None
+
+
+class TestApplyFilter:
+    def test_range_filter_matches_predicate(self):
+        rows = [{"v": i} for i in range(20)]
+        batch = RecordBatch.from_records(rows)
+        fast = apply_filter(_Filter(lambda r: 5 <= r["v"] <= 12,
+                                    column="v", low=5, high=12), batch)
+        slow = apply_filter(_Filter(lambda r: 5 <= r["v"] <= 12), batch)
+        assert fast.to_records() == slow.to_records() \
+            == [r for r in rows if 5 <= r["v"] <= 12]
+
+
+class TestParseBatch:
+    @pytest.mark.parametrize("table", sorted(SF1_ROWS))
+    def test_parity_with_parse_row(self, table):
+        rows = TpchLite(0.1, actual_scale=2.0).table(table)
+        lines = [_to_csv(table, r) for r in rows]
+        out = parse_batch(table, RecordBatch.from_records(lines))
+        got = out.to_records() if isinstance(out, RecordBatch) else out
+        assert got == [parse_row(table, line) for line in lines]
+
+    @pytest.mark.parametrize("line", [
+        "1|x|2.0|0.1",       # non-numeric int field
+        "ü|2|1.0|0.5",  # non-ASCII in an int field
+    ])
+    def test_malformed_number_raises_like_parse_row(self, line):
+        batch = RecordBatch.from_records([line])
+        with pytest.raises(ValueError):
+            parse_batch("lineitem", batch)
+        with pytest.raises(ValueError):
+            parse_row("lineitem", line)
+
+    def test_non_ascii_name_falls_back_and_matches(self):
+        lines = ["0|1|NATIÖN", "1|2|NATION"]
+        out = parse_batch("nation", RecordBatch.from_records(lines))
+        got = out.to_records() if isinstance(out, RecordBatch) else out
+        assert got == [parse_row("nation", line) for line in lines]
+
+    @pytest.mark.parametrize("lines", [
+        [],
+        ["1|2|3.0"],                # short row: separator-count fallback
+        ["-5|2|1.0|0.5"],           # sign routes ints through the C parser
+        ["1|2|1e-05|0.5"],          # exponent float
+        ["1|2|3.5|0.1", "10|20|70000.25|0.07"],
+    ])
+    def test_edge_inputs_match_per_record_parse(self, lines):
+        out = parse_batch("lineitem", RecordBatch.from_records(lines))
+        got = out.to_records() if isinstance(out, RecordBatch) else out
+        assert got == [parse_row("lineitem", line) for line in lines]
+
+
+class TestColumnarSourceCache:
+    def test_batch_is_built_once_per_source(self):
+        from repro.platforms.pystreams.batch_ops import _columnar
+
+        class Source:
+            pass
+
+        src = Source()
+        first = _columnar(src, [1, 2, 3])
+        second = _columnar(src, [1, 2, 3])
+        assert first is second
+        assert first.to_records() == [1, 2, 3]

@@ -188,6 +188,56 @@ class TestStaticChecker:
             "            fut.result()\n")
         assert check_source(src) == []
 
+    def test_exec_hot_path_state_write_is_flagged(self):
+        # RC005: cached plans share operator instances across loop
+        # iterations and concurrent jobs; per-run values must be threaded
+        # through the call, never stored on self.
+        src = (
+            "class MyOp(ExecutionOperator):\n"
+            "    def _run(self, inputs, bvals, ctx):\n"
+            "        self.invocations = self.invocations + 1\n"
+            "        return inputs[0]\n")
+        findings = check_source(src)
+        assert any(f.rule_id == "RC005" for f in findings)
+
+    def test_exec_hot_path_mutator_call_is_flagged(self):
+        src = (
+            "class Base(ExecutionOperator):\n"
+            "    pass\n"
+            "class Leaf(Base):\n"
+            "    def execute(self, inputs, broadcasts, ctx):\n"
+            "        self.seen.append(inputs)\n"
+            "        return inputs[0]\n")
+        findings = check_source(src)
+        assert any(f.rule_id == "RC005" and "Leaf" in f.message
+                   for f in findings)
+
+    def test_non_operator_hot_path_writes_pass(self):
+        src = (
+            "class Visitor:\n"
+            "    def _run(self, inputs, bvals, ctx):\n"
+            "        self.count = 1\n"
+            "        return inputs[0]\n")
+        assert not any(f.rule_id == "RC005" for f in check_source(src))
+
+    def test_operator_writes_outside_hot_paths_pass(self):
+        src = (
+            "class MyOp(ExecutionOperator):\n"
+            "    def __init__(self, logical):\n"
+            "        self.logical = logical\n"
+            "    def helper(self):\n"
+            "        self.cache = {}\n")
+        assert not any(f.rule_id == "RC005" for f in check_source(src))
+
+    def test_rc005_waiver_comment_suppresses(self):
+        src = (
+            "class MyOp(ExecutionOperator):\n"
+            "    def _run(self, inputs, bvals, ctx):\n"
+            "        # lock-ok: test waiver\n"
+            "        self.invocations = 1\n"
+            "        return inputs[0]\n")
+        assert not any(f.rule_id == "RC005" for f in check_source(src))
+
     def test_runtime_catches_the_same_fixture(self):
         import importlib.util
 
