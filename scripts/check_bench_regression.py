@@ -56,6 +56,9 @@ GATED_METRICS: list[tuple[str, str, tuple[str, ...]]] = [
     ("BENCH_batch_throughput.json",
      "batch end-to-end speedup (tpch_q5, polystore)",
      ("variants", "q5_polystore_end_to_end", "speedup")),
+    ("BENCH_result_reuse.json",
+     "result-reuse warm speedup (mixed resubmission batch)",
+     ("warm_speedup",)),
 ]
 
 #: Printed for context, never gated (absolute, hardware-dependent).

@@ -39,6 +39,8 @@ def _build_context(args: argparse.Namespace) -> RheemContext:
     if getattr(args, "no_cache", False):
         ctx.plan_cache.enabled = False
         ctx.graph.caching = False
+    if getattr(args, "no_reuse", False):
+        ctx.result_store.enabled = False
     if args.abstracts:
         write_abstracts(ctx, "hdfs://data/abstracts.txt", args.abstracts)
     if args.pagelinks:
@@ -233,6 +235,9 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--no-cache", action="store_true", dest="no_cache",
                        help="disable the optimizer's conversion-path and "
                             "execution-plan caches")
+        p.add_argument("--no-reuse", action="store_true", dest="no_reuse",
+                       help="disable cross-job reuse of committed "
+                            "intermediate results")
 
     args = parser.parse_args(argv)
     if args.command is None:

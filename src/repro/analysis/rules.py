@@ -23,6 +23,7 @@ RP010     warning   UDF captures mutable state / writes globals
 RP011     info      Filter/FlatMap UDF without a selectivity hint
 RP012     warning   union/intersect inputs have diverging types
 RP013     warning   declared loop input unused by the loop body
+RP014     info      operator attribute defeats plan fingerprinting
 RP100+    error     structural violations (unwired input, cycle, ...)
 RP201     warning   UDFs on potentially concurrent stages share one
                     captured mutable object (lane-aware RP010)
@@ -405,6 +406,29 @@ def _unused_loop_input(ctx: AnalysisContext) -> Iterator[Diagnostic]:
                     f"loop input {inp.index} ({inp.name}) is declared but "
                     f"never consumed by the body",
                     hint="drop the invariant input or use it in the body")
+
+
+# --------------------------------------------------------------------------
+# RP014 unstable fingerprint attribute
+# --------------------------------------------------------------------------
+@register_rule("RP014", "unstable-fingerprint", Severity.INFO,
+               "an operator attribute defeats plan fingerprinting")
+def _unstable_fingerprint(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    from ..core.fingerprint import unstable_attribute
+
+    for op in ctx.ordered:
+        if isinstance(op, ops.ChannelSource):
+            continue  # residual-plan plumbing, never user-addressable
+        attr = unstable_attribute(op)
+        if attr is not None:
+            yield _diag(
+                "RP014", op,
+                f"attribute {attr!r} cannot be fingerprinted stably "
+                f"(object addresses, open handles, ...); this plan is "
+                f"invisible to the plan cache and to cross-job result "
+                f"reuse",
+                hint="replace the value with picklable/canonical data, "
+                     "or accept the deliberate cache opt-out")
 
 
 # --------------------------------------------------------------------------

@@ -122,6 +122,20 @@ LOCK_ORDER: tuple[LockSpec, ...] = (
             "snapshot, the driver takes it to commit",
     ),
     LockSpec(
+        name="intermediate_store",
+        rank=55,
+        kind="rlock",
+        owners=("repro.core.resultstore:IntermediateResultStore._lock",),
+        guards=("IntermediateResultStore._entries",
+                "IntermediateResultStore.stats",
+                "IntermediateResultStore.bytes_mb",
+                "IntermediateResultStore._tick"),
+        doc="cross-job intermediate-result store: entries, byte budget "
+            "and statistics; taken under the executor's commit lock "
+            "scope (publication) and the publish lock (flush), never "
+            "while executing platform code",
+    ),
+    LockSpec(
         name="scheduler.dispatch",
         rank=60,
         kind="lock",
@@ -169,6 +183,7 @@ PARAM_LOCKS: dict[str, str] = {
 #: publish path calling ``self.plan_cache.flush()``).
 ATTR_TYPES: dict[str, str] = {
     "plan_cache": "repro.core.plancache:ExecutionPlanCache",
+    "result_store": "repro.core.resultstore:IntermediateResultStore",
     "graph": "repro.core.channels:ChannelConversionGraph",
     "metrics": "repro.trace.metrics:MetricsRegistry",
     "tracer": "repro.trace.spans:Tracer",

@@ -35,6 +35,7 @@ from .operators import EstimationContext, InequalityCondition, Operator
 from .optimizer import Optimizer
 from .plancache import ExecutionPlanCache
 from .plan import RheemPlan
+from .resultstore import IntermediateResultStore
 from .progressive import ProgressiveReport, channel_source_mapping, \
     execute_progressively
 
@@ -102,6 +103,16 @@ class RheemContext:
             capacity=int(self.config.get("plan_cache_size", 64)),
             metrics=self.metrics)
         self.plan_cache.enabled = bool(self.config.get("plan_cache", True))
+        # Cross-job intermediate-result store (result reuse): committed
+        # stage outputs whose recompute-cost/byte ratio clears the
+        # admission threshold are kept and offered to later submissions
+        # as zero-cost source alternatives.
+        self.result_store = IntermediateResultStore(
+            budget_mb=float(self.config.get("reuse_budget_mb", 256.0)),
+            min_benefit=float(self.config.get("reuse_min_benefit", 0.005)),
+            metrics=self.metrics)
+        self.result_store.enabled = bool(
+            self.config.get("result_reuse", True))
         # Serializes cost-model publication (atomic swap + cache flush);
         # rank 20 in the lock registry, above the plan-cache lock it
         # flushes under (repro.concurrency.order).
@@ -128,6 +139,10 @@ class RheemContext:
             self.cost_model.params = dict(params)
             self.cost_model.version += 1
             self.plan_cache.flush()
+            # Intermediate results are keyed by the version too, but a
+            # flush keeps the store from carrying dead weight produced
+            # under parameters that will never be probed again.
+            self.result_store.flush()
 
     # ------------------------------------------------------------- plumbing
     @property
@@ -181,7 +196,8 @@ class RheemContext:
         return Executor(self.cluster, self.graph, pgres=self.pgres,
                         config=self.config,
                         tracer=tracer if tracer is not None else self.tracer,
-                        metrics=self.metrics, cancel_check=cancel_check)
+                        metrics=self.metrics, cancel_check=cancel_check,
+                        result_store=self.result_store)
 
     # ------------------------------------------------------------ execution
     def optimize(
@@ -192,16 +208,40 @@ class RheemContext:
         cacheable: bool = True,
         tracer: Tracer | None = None,
     ):
-        """Optimize ``plan`` through the execution-plan cache.
+        """Optimize ``plan`` through the result-reuse and plan caches.
 
-        Returns ``(execution plan, cardinality estimates)``.  Cache hits
-        skip enumeration entirely but still run static analysis, so
-        diagnostics and rejection behaviour never depend on cache state;
-        misses populate the cache for the next structurally identical
-        submission.
+        Returns ``(execution plan, cardinality estimates)``.
+
+        The intermediate-result store is probed first (when enabled and
+        the request is cacheable): a hit enumerates only the residual
+        plan below the reuse roots — the stored channels enter as
+        zero-cost source alternatives, so the winning plan both prunes
+        the search space and skips the pruned operators' execution.
+        Reuse-pruned plans bypass the execution-plan cache entirely
+        (their decisions depend on store contents, which the cache key
+        does not cover).
+
+        Without a store hit the plan cache behaves as before: hits skip
+        enumeration but still run static analysis, so diagnostics and
+        rejection behaviour never depend on cache state; misses populate
+        the cache for the next structurally identical submission.
         """
         optimizer = self.optimizer(allowed_platforms, objective=objective,
                                    tracer=tracer)
+        # Probe the result store only when it can possibly hit: an empty
+        # store would charge every plan-cache-warm submission the full
+        # subplan-fingerprinting cost for nothing (a replayed plan already
+        # carries its reuse keys from the miss that populated the cache).
+        reuse_on = cacheable and self.result_store.enabled
+        probe = None
+        if reuse_on and len(self.result_store):
+            probe = optimizer.probe_reuse(plan, self.result_store,
+                                          self.cost_model.version)
+        if probe is not None and probe.roots:
+            best, cards = optimizer.pick_best(plan, reuse=probe)
+            exec_plan = optimizer._build_execution_plan(plan, best)
+            exec_plan.reuse_keys = dict(probe.keys)
+            return exec_plan, cards
         key = self.plan_cache.key_for(
             plan, optimizer.estimation_ctx, self.cost_model.version,
             allowed_platforms, optimizer.objective) if cacheable else None
@@ -211,6 +251,14 @@ class RheemContext:
             return cached
         best, cards = optimizer.pick_best(plan)
         exec_plan = optimizer._build_execution_plan(plan, best)
+        # Attached before the cache put: a replayed hit re-publishes under
+        # the same keys (same fingerprints, bands and version — they are
+        # all part of the plan-cache key).
+        if probe is None and reuse_on:
+            probe = optimizer.probe_reuse(plan, self.result_store,
+                                          self.cost_model.version,
+                                          lookup=False)
+        exec_plan.reuse_keys = dict(probe.keys) if probe is not None else {}
         if key is not None:
             self.plan_cache.put(key, exec_plan, cards)
         return exec_plan, cards
@@ -253,15 +301,21 @@ class RheemContext:
             return report.result
         # Sniffers address operators of THIS plan object by id; a cached
         # execution plan carries the ids of the submission it was built
-        # from, so exploratory runs bypass the cache entirely.
+        # from, so exploratory runs bypass the cache entirely.  The same
+        # predicate gates result reuse in BOTH directions: sniffer and
+        # fault-injection runs neither look cached intermediates up nor
+        # publish their own outputs (crash-retried data is fine, but
+        # exploratory semantics must match a cold run exactly).
+        cacheable = not sniffers and fault_injector is None
         exec_plan, cards = self.optimize(
             plan, allowed_platforms=allowed_platforms, objective=objective,
-            cacheable=not sniffers and fault_injector is None, tracer=tracer)
+            cacheable=cacheable, tracer=tracer)
         executor = self.executor(tracer=tracer, cancel_check=cancel_check)
         result = executor.execute(exec_plan, estimates=cards,
                                   sniffers=list(sniffers),
                                   fault_injector=fault_injector,
-                                  max_stage_retries=max_stage_retries)
+                                  max_stage_retries=max_stage_retries,
+                                  publish_results=cacheable)
         result.diagnostics = list(plan.diagnostics)
         return result
 

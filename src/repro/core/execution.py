@@ -132,6 +132,11 @@ class ExecutionPlan:
                  sink_tasks: list[ExecutionTask]) -> None:
         self.tasks = list(tasks)
         self.sink_tasks = list(sink_tasks)
+        #: Logical operator id -> intermediate-result store key, attached
+        #: by :meth:`RheemContext.optimize` for plans whose subplans are
+        #: reuse-keyable; the executor publishes committed outputs under
+        #: these keys (:mod:`repro.core.resultstore`).
+        self.reuse_keys: dict[int, tuple] = {}
 
     def build_stages(self, break_after: set[int] = frozenset()
                      ) -> list[ExecutionStage]:

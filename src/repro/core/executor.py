@@ -44,6 +44,7 @@ from .execution import (
 from .monitor import Monitor, OperatorObservation
 from .operators import DoWhileLoop, RepeatLoop
 from .optimizer import LoopBodySource
+from .resultstore import IntermediateResultStore
 from .scheduler import StageScheduler
 
 #: Checkpoint hook: (monitor, completed logical op ids) -> True to replan.
@@ -236,11 +237,15 @@ class Executor:
         tracer=None,
         metrics: MetricsRegistry | None = None,
         cancel_check: Callable[[], None] | None = None,
+        result_store: IntermediateResultStore | None = None,
     ) -> None:
         self.cluster = cluster
         self.graph = conversion_graph
         self.pgres = pgres
         self.config = dict(config or {})
+        #: Cross-job intermediate-result store; committed stage outputs
+        #: are offered to it when ``execute(publish_results=True)``.
+        self.result_store = result_store
         self.tracer = tracer or NO_TRACER
         self.metrics = metrics or MetricsRegistry()
         #: Cooperative cancellation hook, called at every stage boundary;
@@ -273,6 +278,7 @@ class Executor:
         max_stage_retries: int = 2,
         stage_breaks: set[int] = frozenset(),
         parallelize_stages: bool = True,
+        publish_results: bool = False,
     ) -> ExecutionResult:
         """Run ``plan`` to completion (or to a checkpoint pause).
 
@@ -335,6 +341,8 @@ class Executor:
         startup_owners = self._startup_owners(stages, started)
         conversion_owners = (self._conversion_owners(stages)
                              if parallelism > 1 else None)
+        offers = (self._publish_offers(plan, stages, crossing)
+                  if publish_results else {})
         job_lock = OrderedLock("executor.job", self.metrics)
 
         with self.tracer.span("executor.run", stages=len(stages),
@@ -362,6 +370,20 @@ class Executor:
                     self._apply_outcome(outcome, env, conversion_cache,
                                         monitor, completed_logical, tracker)
                     started.update(outcome.started)
+                # Publication happens only here, at the top-level commit
+                # cursor — loop-body stages commit through _apply_outcome
+                # directly and never publish; crashed attempts were
+                # discarded before reaching a commit.  ``sim_end`` is the
+                # stage's simulated critical-path end: the cumulative cost
+                # of (re)computing the published data.
+                if outcome.label in offers:
+                    store = self.result_store
+                    for task_id, key in offers[outcome.label]:
+                        channel = outcome.env.get(task_id)
+                        if (store is not None and channel is not None
+                                and channel.actual_count is not None):
+                            store.offer(key, channel,
+                                        recompute_s=outcome.sim_end)
                 # Checkpoint barrier: evaluated at the commit cursor, i.e.
                 # in deterministic stage order, with every earlier stage
                 # committed and no later one.
@@ -389,6 +411,50 @@ class Executor:
             stage_count=len(stages),
             platforms=set(started),
         )
+
+    # ------------------------------------------------------- result reuse
+    def _publish_offers(self, plan: ExecutionPlan,
+                        stages: list[ExecutionStage],
+                        crossing: set[int]) -> dict[str, list[tuple]]:
+        """stage id -> ``[(task id, store key), ...]`` to offer at commit.
+
+        Candidates are the *final* task of each reuse-keyed logical
+        operator (an operator may map to a chain of execution tasks; only
+        the chain's last output is the operator's result).  Per stage we
+        offer every candidate materialized at a stage boundary plus the
+        stage's last in-stage candidate — the output downstream jobs are
+        most likely to reuse (typically the channel feeding a sink).
+        Outputs of :class:`~repro.core.optimizer.CachedResultExec` tasks
+        are offered too, but the store only refreshes their recency (the
+        key is already resident).
+        """
+        store = self.result_store
+        reuse_keys = getattr(plan, "reuse_keys", {})
+        if store is None or not store.enabled or not reuse_keys:
+            return {}
+        final: dict[int, int] = {}
+        for task in plan.tasks:
+            lid = task.logical_id
+            if lid is not None and lid in reuse_keys:
+                final[lid] = task.id
+        keyed = {task_id: reuse_keys[lid] for lid, task_id in final.items()}
+        offers: dict[str, list[tuple]] = {}
+        for stage in stages:
+            per: list[tuple] = []
+            tail: tuple | None = None
+            for task in stage.tasks:
+                key = keyed.get(task.id)
+                if key is None:
+                    continue
+                if task.id in crossing:
+                    per.append((task.id, key))
+                else:
+                    tail = (task.id, key)
+            if tail is not None and tail not in per:
+                per.append(tail)
+            if per:
+                offers[stage.id] = per
+        return offers
 
     # ------------------------------------------------------------ topology
     @staticmethod

@@ -119,6 +119,14 @@ class _Fingerprinter:
                 code.co_varnames, code.co_freevars, code.co_argcount)
 
 
+def _op_attr_token(op: Operator, fp: _Fingerprinter) -> tuple:
+    """Canonical token of one operator's semantic attributes (no wiring)."""
+    return tuple(
+        (key, fp.token(op.__dict__[key]))
+        for key in sorted(op.__dict__)
+        if key not in _SKIP_ATTRS)
+
+
 def plan_fingerprint(plan) -> str | None:
     """Digest of ``plan``'s structure and parameters; ``None`` if unstable.
 
@@ -127,15 +135,27 @@ def plan_fingerprint(plan) -> str | None:
     bounds.  ``None`` means some operator attribute could not be tokenized
     reproducibly — the caller must skip caching for this plan.
     """
+    return fingerprint_report(plan)[0]
+
+
+def fingerprint_report(plan) -> "tuple[str | None, Operator | None]":
+    """:func:`plan_fingerprint` plus blame: ``(digest, unstable operator)``.
+
+    Exactly one of the pair is ``None``: a stable plan returns
+    ``(digest, None)``; an uncacheable plan returns ``(None, op)`` where
+    ``op`` is the first operator (in topological order) whose attributes
+    could not be tokenized reproducibly — surfaced by the
+    ``fingerprint.unstable`` counter and lint rule RP014.
+    """
     ops: list[Operator] = plan.operators(include_loop_bodies=True)
     index = {op.id: i for i, op in enumerate(ops)}
     fp = _Fingerprinter()
     entries = []
+    unstable_op: Operator | None = None
     for op in ops:
-        attrs = tuple(
-            (key, fp.token(op.__dict__[key]))
-            for key in sorted(op.__dict__)
-            if key not in _SKIP_ATTRS)
+        attrs = _op_attr_token(op, fp)
+        if not fp.stable and unstable_op is None:
+            unstable_op = op
         ins = tuple(
             (slot, index.get(ref.op.id), ref.output_index)
             if ref is not None else (slot, None, None)
@@ -149,6 +169,106 @@ def plan_fingerprint(plan) -> str | None:
                           for ref in op.body.outputs))
         entries.append((type(op).__name__, ins, sides, body, attrs))
     if not fp.stable:
-        return None
+        return None, unstable_op
     tree = (tuple(entries), tuple(index[sink.id] for sink in plan.sinks))
-    return hashlib.sha256(repr(tree).encode()).hexdigest()
+    return hashlib.sha256(repr(tree).encode()).hexdigest(), None
+
+
+def unstable_attribute(op: Operator) -> str | None:
+    """Name of the first attribute of ``op`` that defeats fingerprinting.
+
+    ``None`` when every attribute tokenizes stably.  Used by lint rule
+    RP014 to name the offending operator attribute in its hint.
+    """
+    for key in sorted(op.__dict__):
+        if key in _SKIP_ATTRS:
+            continue
+        fp = _Fingerprinter()
+        fp.token(op.__dict__[key])
+        if not fp.stable:
+            return key
+    return None
+
+
+# --------------------------------------------------------------- subplans
+def subplan_fingerprints(plan) -> dict[int, str]:
+    """Merkle digest of the *computation rooted at each operator*.
+
+    Returns ``{operator id -> digest}`` for every top-level operator of
+    ``plan`` whose upstream cone tokenizes stably.  An operator's digest
+    combines its own attribute token with the digests of its data and
+    broadcast producers (plus a structural token of its loop body, for
+    loops), so two operators share a digest exactly when they compute the
+    same function of the same fingerprinted sources — across plans and
+    across submissions.  Instability poisons transitively: an unstable UDF
+    anywhere in the cone removes the whole downstream chain from the map,
+    mirroring :func:`plan_fingerprint`'s conservative-miss contract.
+    """
+    memo: dict[int, str | None] = {}
+    for op in plan.operators():
+        _subplan_fp(op, memo)
+    return {op_id: digest for op_id, digest in memo.items()
+            if digest is not None}
+
+
+def _subplan_fp(op: Operator, memo: dict[int, "str | None"]) -> str | None:
+    if op.id in memo:
+        return memo[op.id]
+    fp = _Fingerprinter()
+    entry = (type(op).__name__, _op_attr_token(op, fp))
+    body: tuple = ()
+    if isinstance(op, LoopOperator):
+        body = _loop_body_token(op, fp)
+    if not fp.stable:
+        memo[op.id] = None
+        return None
+    ins: list[tuple] = []
+    for slot, ref in enumerate(op.inputs):
+        if ref is None:
+            ins.append((slot, None, None))
+            continue
+        sub = _subplan_fp(ref.op, memo)
+        if sub is None:
+            memo[op.id] = None
+            return None
+        ins.append((slot, sub, ref.output_index))
+    sides: list[tuple] = []
+    for ref in op.side_inputs:
+        sub = _subplan_fp(ref.op, memo)
+        if sub is None:
+            memo[op.id] = None
+            return None
+        sides.append((sub, ref.output_index))
+    tree = (entry, tuple(ins), tuple(sides), body)
+    digest = hashlib.sha256(repr(tree).encode()).hexdigest()
+    memo[op.id] = digest
+    return digest
+
+
+def _loop_body_token(loop: LoopOperator, fp: _Fingerprinter) -> tuple:
+    """Structural token of a loop body (body-local wiring indices).
+
+    The body is tokenized like a miniature plan: operators in the body's
+    own topological order, wiring by body-local index, attributes through
+    the *loop's* fingerprinter so body instability poisons the loop's
+    subplan digest.  ``LoopInput`` placeholders carry their slot index as
+    an attribute, which binds them to the loop's outer inputs (whose own
+    subplan digests enter through the loop's input edges).
+    """
+    body_ops = loop.body.operators()
+    index = {o.id: i for i, o in enumerate(body_ops)}
+    entries = []
+    for o in body_ops:
+        attrs = _op_attr_token(o, fp)
+        ins = tuple(
+            (slot, index.get(ref.op.id), ref.output_index)
+            if ref is not None else (slot, None, None)
+            for slot, ref in enumerate(o.inputs))
+        sides = tuple((index.get(ref.op.id), ref.output_index)
+                      for ref in o.side_inputs)
+        body = _loop_body_token(o, fp) if isinstance(o, LoopOperator) else ()
+        entries.append((type(o).__name__, ins, sides, body, attrs))
+    return ("loop-body", tuple(entries),
+            tuple(index[inp.id] for inp in loop.body.inputs),
+            tuple((index[ref.op.id], ref.output_index)
+                  for ref in loop.body.outputs))

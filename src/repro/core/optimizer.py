@@ -31,10 +31,12 @@ from ..platforms.base import ExecutionOperator
 from ..trace import NO_TRACER, MetricsRegistry
 from .cardinality import CardinalityEstimate
 from .channels import (
+    Channel,
     ChannelConversionError,
     ChannelConversionGraph,
     ChannelDescriptor,
     ConversionPath,
+    volume_band,
 )
 from .cost import CostEstimate, CostModel
 from .execution import (
@@ -57,11 +59,13 @@ from .operators import (
     LoopOperator,
     Map,
     Operator,
+    SinkOperator,
     TableSource,
     TextFileSource,
     Union,
 )
 from .plan import RheemPlan
+from .resultstore import IntermediateResultStore, StoredResult
 
 
 class OptimizationError(RuntimeError):
@@ -91,6 +95,40 @@ class ChannelSourceDecision:
     """Decision for placeholder sources (loop inputs, materialized channels)."""
 
     descriptor: ChannelDescriptor
+
+
+@dataclass
+class CachedResultDecision(ChannelSourceDecision):
+    """Reuse a stored intermediate: a zero-cost source alternative.
+
+    Enumeration treats it exactly like a materialized-channel source (the
+    ``ChannelSourceDecision`` base), so a store hit contributes no
+    operator, conversion, startup or dispatch cost — pruning the whole
+    upstream cone out of the plan space.  Plan construction turns it into
+    a :class:`CachedResultExec` task that re-emits the stored channel.
+    """
+
+    channel: Channel
+
+
+@dataclass
+class ReuseProbe:
+    """Outcome of probing the intermediate-result store for one plan.
+
+    Attributes:
+        keys: Operator id -> store key, for every reusable-keyed operator
+            (stable subplan fingerprint, sinks excluded).  The executor
+            publishes committed outputs under these keys.
+        roots: Operator id -> stored entry, for the hits chosen as reuse
+            roots (the ones closest to the sinks).
+        needed: Ids of the operators that still require enumeration and
+            execution (the roots themselves included; everything strictly
+            above a root is pruned).
+    """
+
+    keys: dict[int, tuple]
+    roots: dict[int, StoredResult]
+    needed: set[int]
 
 
 @dataclass
@@ -242,12 +280,22 @@ class Optimizer:
         best, cards = self.pick_best(plan)
         return self._build_execution_plan(plan, best)
 
-    def pick_best(self, plan: RheemPlan) -> tuple[PartialPlan, dict]:
+    def pick_best(self, plan: RheemPlan,
+                  reuse: ReuseProbe | None = None
+                  ) -> tuple[PartialPlan, dict]:
         """Run static analysis + inflation + enumeration.
 
         Error-level lint findings abort before enumeration
         (:class:`PlanAnalysisError`); warnings annotate ``plan.diagnostics``
         and decay the confidence of estimates flowing through impure UDFs.
+
+        A ``reuse`` probe with hits (:meth:`probe_reuse`) restricts
+        enumeration to the operators below the reuse roots; each root's
+        only alternative is its stored intermediate.  If the pruned plan
+        space turns out unexecutable (a stored channel unreachable from
+        every downstream alternative), enumeration falls back to the full
+        plan and clears ``reuse.roots`` so the caller knows no reuse
+        happened.
         """
         self.stats = dict.fromkeys(self.stats, 0)
         with self.tracer.span("optimizer.analyze"):
@@ -274,10 +322,38 @@ class Optimizer:
                 return self._loop_decisions(op, cards, bprs)
             return self._filter_alternatives(op, inflated.alternatives_for(op))
 
+        enum_ops: Sequence[Operator] = ops
+        enum_alts = alternatives
+        if reuse is not None and reuse.roots:
+            enum_ops = [op for op in ops if op.id in reuse.needed]
+
+            def enum_alts(op: Operator):  # noqa: F811 — reuse-aware shadow
+                entry = reuse.roots.get(op.id)
+                if entry is not None:
+                    return [CachedResultDecision(entry.channel.descriptor,
+                                                 entry.channel)]
+                return alternatives(op)
+
         with self.tracer.span("optimizer.enumerate") as enumerate_span:
-            results = self._enumerate_ops(ops, cards, bprs, alternatives,
-                                          phantom_open=set(),
-                                          include_startup=True)
+            try:
+                results = self._enumerate_ops(enum_ops, cards, bprs,
+                                              enum_alts,
+                                              phantom_open=set(),
+                                              include_startup=True)
+            except OptimizationError:
+                if enum_ops is ops:
+                    raise
+                # A stored intermediate's channel may be unreachable from
+                # every downstream alternative; re-enumerate the full plan
+                # instead of failing a job that was executable without
+                # reuse.  Clearing the roots tells the caller no cached
+                # decision made it into the plan.
+                self.metrics.counter("optimizer.reuse_fallbacks").inc()
+                assert reuse is not None
+                reuse.roots.clear()
+                results = self._enumerate_ops(ops, cards, bprs, alternatives,
+                                              phantom_open=set(),
+                                              include_startup=True)
             for key, value in self.stats.items():
                 enumerate_span.set(key, value)
                 self.metrics.counter(f"optimizer.{key}").inc(value)
@@ -289,6 +365,79 @@ class Optimizer:
             raise OptimizationError("enumeration produced no executable plan")
         best = min(results, key=lambda p: p.cost.geometric_mean)
         return best, cards
+
+    # -------------------------------------------------------- result reuse
+    def probe_reuse(self, plan: RheemPlan, store: IntermediateResultStore,
+                    cost_model_version: int,
+                    lookup: bool = True) -> ReuseProbe:
+        """Probe the intermediate-result store for ``plan``'s subplans.
+
+        Walks from the sinks toward the sources, looking each operator's
+        ``(subplan fingerprint, source bands, cost-model version)`` key up
+        in the store and stopping the descent at the first hit — so the
+        chosen reuse roots are the ones closest to the sinks (maximal
+        pruning).  Sinks themselves are never reuse roots: their side
+        effects (writing files, delivering the result collection) must
+        re-run on every submission.
+
+        ``lookup=False`` computes the keys only (for publication after a
+        plan-cache miss) without touching the store — probing a store
+        known to hold nothing would count meaningless misses.
+        """
+        from .fingerprint import subplan_fingerprints
+
+        with self.tracer.span("optimizer.reuse_probe") as span:
+            fps = subplan_fingerprints(plan)
+            bands = self._reuse_bands(plan, fps)
+            keys = {op.id: (fps[op.id], bands[op.id], cost_model_version)
+                    for op in plan.operators()
+                    if op.id in fps and not isinstance(op, SinkOperator)}
+            roots: dict[int, StoredResult] = {}
+            needed: set[int] = set()
+            stack: list[Operator] = list(plan.sinks)
+            while stack:
+                op = stack.pop()
+                if op.id in needed:
+                    continue
+                needed.add(op.id)
+                key = keys.get(op.id)
+                entry = (store.get(key)
+                         if lookup and key is not None else None)
+                if entry is not None:
+                    roots[op.id] = entry
+                    continue
+                for ref in list(op.inputs) + list(op.side_inputs):
+                    if ref is not None:
+                        stack.append(ref.op)
+            span.set("subplans_keyed", len(keys))
+            span.set("reuse_hits", len(roots))
+        return ReuseProbe(keys=keys, roots=roots, needed=needed)
+
+    def _reuse_bands(self, plan: RheemPlan,
+                     fps: dict[int, str]) -> dict[int, tuple]:
+        """Per-operator source-cardinality band signature.
+
+        An operator's signature covers every source in its upstream cone:
+        sorted ``(source subplan digest, quarter-octave band)`` pairs —
+        the digest disambiguates which source a band belongs to, so the
+        signature is stable across submissions while re-keying the store
+        when any contributing source grows.
+        """
+        cones: dict[int, frozenset] = {}
+        bands: dict[int, tuple] = {}
+        for op in plan.operators():
+            cone: frozenset = frozenset()
+            for ref in list(op.inputs) + list(op.side_inputs):
+                if ref is not None:
+                    cone |= cones.get(ref.op.id, frozenset())
+            if op.is_source and op.id in fps:
+                band = volume_band(op.estimate_cardinality(
+                    [], self.estimation_ctx).geometric_mean)
+                cone |= {(fps[op.id], band)}
+            cones[op.id] = cone
+            if op.id in fps:
+                bands[op.id] = tuple(sorted(cone))
+        return bands
 
     # ------------------------------------------------------ static analysis
     def _analyze(self, plan: RheemPlan):
@@ -707,6 +856,14 @@ class Optimizer:
             if op.id in tasks:
                 return tasks[op.id]
             decision = best.decisions[op.id]
+            if isinstance(decision, CachedResultDecision):
+                # A reuse root: its upstream cone was pruned out of the
+                # enumeration, so there is nothing to build above it.
+                task = ExecutionTask(CachedResultExec(op, decision.channel),
+                                     [], [])
+                ordered.append(task)
+                tasks[op.id] = task
+                return task
             inputs = [
                 TaskInput(build(ref.op),
                           best.conversions.get((ref.op.id, op.id, slot),
@@ -790,6 +947,39 @@ class Optimizer:
         body_plan = ExecutionPlan(ordered, [output_task])
         return LoopImplementation(loop, body_plan, input_tasks,
                                   decision.feedback)
+
+
+class CachedResultExec(ExecutionOperator):
+    """Re-emits a stored intermediate result at zero cost (result reuse).
+
+    ``logical`` is the reuse-root operator of the submitted plan, so the
+    task reports the right logical id to the monitor and completion
+    tracking; the payload comes from the intermediate-result store.
+    """
+
+    op_kind = "cached_result"
+
+    def __init__(self, logical: Operator, channel: Channel) -> None:
+        super().__init__(logical)
+        self.channel = channel
+        self.platform = channel.descriptor.platform or DRIVER_PLATFORM
+
+    def input_descriptors(self):
+        return []
+
+    def output_descriptor(self):
+        return self.channel.descriptor
+
+    def tasks_fraction(self, profile) -> float:
+        return 0.0
+
+    def cost_estimate(self, model, cins, cout):
+        return CostEstimate.zero()
+
+    def execute(self, inputs, broadcasts, ctx):
+        # Detach: the stored channel stays resident and may be re-emitted
+        # into several jobs, whose branches must not share mutable payloads.
+        return self.channel.detached()
 
 
 class LoopBodySource(ExecutionOperator):

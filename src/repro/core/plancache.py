@@ -86,12 +86,17 @@ class ExecutionPlanCache:
         Returns ``None`` — meaning "do not cache" — when caching is
         disabled or the plan cannot be fingerprinted stably.
         """
-        from .fingerprint import plan_fingerprint
+        from .fingerprint import fingerprint_report
 
         if not self.enabled or self.capacity <= 0:
             return None
-        fingerprint = plan_fingerprint(plan)
+        fingerprint, __ = fingerprint_report(plan)
         if fingerprint is None:
+            # An unstable attribute (object addresses, open handles, ...)
+            # defeated fingerprinting; surface it so a cache that silently
+            # never hits is diagnosable (lint rule RP014 names the culprit).
+            if self.metrics is not None:
+                self.metrics.counter("fingerprint.unstable").inc()
             return None
         bands = tuple(
             volume_band(op.estimate_cardinality([],

@@ -193,6 +193,7 @@ _CACHE_RATE_SOURCES = (
     ("conversion trees", "conversion_cache.tree_hits",
      "conversion_cache.tree_misses"),
     ("execution plans", "plan_cache.hits", "plan_cache.misses"),
+    ("intermediate results", "intermediate.hits", "intermediate.misses"),
 )
 
 
