@@ -22,10 +22,15 @@ Exit status: 0 when every gated metric holds (including when comparing
 the committed baselines against themselves), 1 on any regression, 2 on
 malformed input.
 
+``--summary PATH`` additionally writes a compact markdown table of every
+gated metric (fresh vs baseline, ratio, verdict) — CI appends it to
+``$GITHUB_STEP_SUMMARY`` so regressions are readable from the run page
+without digging through logs.
+
 Usage::
 
     python scripts/check_bench_regression.py --fresh /tmp/bench \
-        [--baseline .] [--tolerance 0.25]
+        [--baseline .] [--tolerance 0.25] [--summary summary.md]
 """
 
 from __future__ import annotations
@@ -47,6 +52,9 @@ GATED_METRICS: list[tuple[str, str, tuple[str, ...]]] = [
     ("BENCH_concurrency.json",
      "concurrency throughput speedup (4 workers vs 1)",
      ("speedup_4v1",)),
+    ("BENCH_concurrency.json",
+     "process-backend throughput speedup (8 shards vs 1)",
+     ("process_speedup_8v1",)),
     ("BENCH_stage_parallelism.json",
      "stage-parallel wall speedup (4 lanes vs serial)",
      ("speedup_4v1",)),
@@ -107,6 +115,9 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed fractional regression (default 0.25, i.e. fail only "
              "when a metric drops by more than 25%%; env: "
              "BENCH_REGRESSION_TOLERANCE)")
+    parser.add_argument("--summary", type=Path, default=None,
+                        help="also write a markdown comparison table here "
+                             "(for $GITHUB_STEP_SUMMARY)")
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         print(f"error: tolerance must be in [0, 1), got {args.tolerance}",
@@ -122,6 +133,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     failures = 0
+    rows: list[tuple[str, str, str, str, str]] = []
     for name, label, keys in GATED_METRICS:
         fresh = _extract(fresh_reports[name], keys)
         baseline = _extract(baseline_reports[name], keys)
@@ -129,6 +141,9 @@ def main(argv: list[str] | None = None) -> int:
             print(f"FAIL  {label}: metric missing "
                   f"(fresh={fresh}, baseline={baseline})")
             failures += 1
+            rows.append((label, "missing" if fresh is None else f"{fresh:.2f}",
+                         "missing" if baseline is None else f"{baseline:.2f}",
+                         "—", ":x:"))
             continue
         floor = baseline * (1.0 - args.tolerance)
         verdict = "ok  " if fresh >= floor else "FAIL"
@@ -136,6 +151,22 @@ def main(argv: list[str] | None = None) -> int:
             failures += 1
         print(f"{verdict}  {label}: fresh {fresh:.2f} vs baseline "
               f"{baseline:.2f} (floor {floor:.2f})")
+        ratio = fresh / baseline if baseline else float("inf")
+        rows.append((label, f"{fresh:.2f}x", f"{baseline:.2f}x",
+                     f"{ratio:.2f}",
+                     ":white_check_mark:" if fresh >= floor else ":x:"))
+
+    if args.summary is not None:
+        lines = ["### Benchmark ratios vs committed baseline",
+                 "",
+                 f"Tolerance: {args.tolerance:.0%} "
+                 f"(fail when fresh < baseline × {1 - args.tolerance:.2f})",
+                 "",
+                 "| metric | fresh | baseline | fresh/baseline | gate |",
+                 "| --- | ---: | ---: | ---: | :---: |"]
+        lines += [f"| {label} | {fresh} | {base} | {ratio} | {mark} |"
+                  for label, fresh, base, ratio, mark in rows]
+        args.summary.write_text("\n".join(lines) + "\n")
 
     for name, label, keys in CONTEXT_METRICS:
         fresh = _extract(fresh_reports.get(name, {}), keys)

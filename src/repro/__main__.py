@@ -4,8 +4,9 @@ Usage::
 
     python -m repro run SCRIPT.latin [--profile] [--abstracts PCT]
     python -m repro trace SCRIPT.latin [--out job.trace.json]
-    python -m repro serve [--port 8642] [--jobs N] [--queue-size N]
-                          [--deadline SECONDS]
+    python -m repro serve [--port 8642] [--backend thread|process]
+                          [--jobs N] [--queue-size N]
+                          [--deadline SECONDS] [--tenant-quota N]
     python -m repro lint SCRIPT.{py,latin}
 
 ``run`` executes a RheemLatin script against a fresh context (optionally
@@ -15,9 +16,12 @@ appends the wall-clock span tree, metrics and simulated stage timelines.
 ``trace`` runs the script with tracing enabled and writes a Chrome
 trace-event file (open it in ``chrome://tracing`` or Perfetto).
 ``serve`` exposes the REST interface (``POST /jobs`` with a JSON job
-document) through the concurrent job server — ``--jobs`` worker threads,
-a bounded admission queue (429 on overflow), optional per-job deadlines —
-via a threading wsgiref server; Ctrl-C drains the queue before exiting.  ``lint`` executes a Python or RheemLatin script
+document) through the concurrent job server — ``--jobs`` workers (pool
+threads, or with ``--backend process`` one context-replica process each,
+scaling past the GIL), a bounded admission queue (429 + ``Retry-After``
+on overflow), optional per-job deadlines and per-tenant fair-share
+quotas — via a threading wsgiref server; Ctrl-C drains the queue before
+exiting.  ``lint`` executes a Python or RheemLatin script
 under the static analyzer and prints every diagnostic raised against the
 plans it builds; the exit status is 1 when any error-severity diagnostic
 fires, else 0.
@@ -26,26 +30,39 @@ fires, else 0.
 from __future__ import annotations
 
 import argparse
+import functools
 import os
 import sys
+from typing import Any
 
 from . import RheemContext
 from .latin import Interpreter
 from .workloads import write_abstracts, write_pagelinks
 
 
-def _build_context(args: argparse.Namespace) -> RheemContext:
+def _context_from_options(no_cache: bool, no_reuse: bool,
+                          abstracts: float, pagelinks: float) -> RheemContext:
+    """Build a context from plain options (module-level and picklable on
+    purpose: the process-backend job server ships it — via
+    ``functools.partial`` — into worker shards under any multiprocessing
+    start method)."""
     ctx = RheemContext()
-    if getattr(args, "no_cache", False):
+    if no_cache:
         ctx.plan_cache.enabled = False
         ctx.graph.caching = False
-    if getattr(args, "no_reuse", False):
+    if no_reuse:
         ctx.result_store.enabled = False
-    if args.abstracts:
-        write_abstracts(ctx, "hdfs://data/abstracts.txt", args.abstracts)
-    if args.pagelinks:
-        write_pagelinks(ctx, "hdfs://data/pagelinks.txt", args.pagelinks)
+    if abstracts:
+        write_abstracts(ctx, "hdfs://data/abstracts.txt", abstracts)
+    if pagelinks:
+        write_pagelinks(ctx, "hdfs://data/pagelinks.txt", pagelinks)
     return ctx
+
+
+def _build_context(args: argparse.Namespace) -> RheemContext:
+    return _context_from_options(
+        getattr(args, "no_cache", False), getattr(args, "no_reuse", False),
+        args.abstracts, args.pagelinks)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -101,15 +118,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         daemon_threads = True
 
-    job_server = JobServer(_build_context(args), workers=args.jobs,
-                           queue_size=args.queue_size,
-                           default_deadline_s=args.deadline,
-                           stage_threads=args.stage_threads)
+    common: dict[str, Any] = dict(
+        workers=args.jobs, queue_size=args.queue_size,
+        default_deadline_s=args.deadline, stage_threads=args.stage_threads,
+        backend=args.backend, tenant_quota=args.tenant_quota)
+    if args.backend == "process":
+        factory = functools.partial(
+            _context_from_options, getattr(args, "no_cache", False),
+            getattr(args, "no_reuse", False), args.abstracts, args.pagelinks)
+        job_server = JobServer(context_factory=factory, **common)
+    else:
+        job_server = JobServer(_build_context(args), **common)
     httpd = make_server("127.0.0.1", args.port, make_wsgi_app(job_server),
                         server_class=ThreadingWSGIServer)
+    unit = "process shard(s)" if args.backend == "process" else "thread(s)"
     print(f"rheem job server on http://127.0.0.1:{args.port}/jobs "
-          f"({args.jobs} worker(s), queue {args.queue_size}, "
-          f"deadline {args.deadline or 'none'})")
+          f"({args.jobs} {unit}, queue {args.queue_size}, "
+          f"deadline {args.deadline or 'none'}, "
+          f"tenant quota {args.tenant_quota or 'none'})")
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:
@@ -203,8 +229,20 @@ def main(argv: list[str] | None = None) -> int:
                        help="trace file path (default: SCRIPT.trace.json)")
     serve = sub.add_parser("serve", help="start the REST service")
     serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument("--backend", choices=("thread", "process"),
+                       default="thread",
+                       help="worker backend: 'thread' shares one context "
+                            "behind the GIL; 'process' runs one context "
+                            "replica per worker process with sticky "
+                            "plan-fingerprint routing (default: thread)")
     serve.add_argument("--jobs", type=int, default=4,
-                       help="worker threads in the job pool (default 4)")
+                       help="workers in the job pool: threads, or shard "
+                            "processes with --backend process (default 4)")
+    serve.add_argument("--tenant-quota", type=int, default=None,
+                       dest="tenant_quota",
+                       help="max concurrently running jobs per tenant; "
+                            "excess stays queued while other tenants "
+                            "overtake (default: no cap)")
     serve.add_argument("--queue-size", type=int, default=16,
                        dest="queue_size",
                        help="jobs allowed to wait beyond the running ones "

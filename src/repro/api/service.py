@@ -20,7 +20,7 @@ from ..core.optimizer import OptimizationError
 from ..core.plan import PlanValidationError
 from ..latin.translator import resolve_platform
 from ..simulation.cluster import SimulatedOutOfMemory
-from ..trace import Tracer, trace_block
+from ..trace import NullTracer, Tracer, trace_block
 from .serde import PlanDocumentError, build_quanta
 
 
@@ -32,7 +32,8 @@ class RheemService:
         self.ctx = ctx or RheemContext()
         self.env = dict(env or {})
 
-    def submit(self, document: dict, tracer: Tracer | None = None,
+    def submit(self, document: dict,
+               tracer: Tracer | NullTracer | None = None,
                cancel_check: Callable[[], None] | None = None) -> dict:
         """Run one job document; always returns a JSON-ready dict.
 
@@ -82,15 +83,20 @@ class RheemService:
         except SimulatedOutOfMemory as exc:
             return {"status": "error", "kind": "OutOfMemory",
                     "error": str(exc)}
-        return {
+        response = {
             "status": "ok",
             "output": _jsonable(result.output),
             "runtime": result.runtime,
             "platforms": sorted(result.platforms),
             "price_usd": price_of(result),
             "diagnostics": [d.to_json() for d in result.diagnostics],
-            "trace": trace_block(tracer, self.ctx.metrics),
         }
+        # A disabled tracer has no spans and the caller asked for the
+        # hot path (the job server's tracing=False mode) — rendering the
+        # metrics block per response would be pure overhead.
+        if getattr(tracer, "enabled", True):
+            response["trace"] = trace_block(tracer, self.ctx.metrics)
+        return response
 
 
 def _exception_diagnostics(exc: Exception) -> list[dict]:

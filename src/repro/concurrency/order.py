@@ -71,10 +71,35 @@ LOCK_ORDER: tuple[LockSpec, ...] = (
         rank=10,
         kind="lock",
         owners=("repro.server.server:JobServer._lock",),
-        guards=("JobServer._jobs", "JobServer._futures", "JobServer._queued",
-                "JobServer._running", "JobServer._accepting"),
-        doc="job table, queued/running counters and the accepting flag; "
-            "never held while a job executes",
+        guards=("JobServer._jobs", "JobServer._queued",
+                "JobServer._running", "JobServer._accepting",
+                "JobServer._pending", "JobServer._tenant_running",
+                "JobServer._run_ewma", "JobServer._cancelled"),
+        doc="job table, pending queue, per-tenant running counts, the "
+            "service-time EWMA and the accepting/cancelled flags; never "
+            "held while a job executes",
+    ),
+    LockSpec(
+        name="server.pool",
+        rank=12,
+        kind="lock",
+        owners=("repro.server.shards:ShardPool._lock",),
+        guards=("ShardPool._slots", "ShardPool._published",
+                "ShardPool._last_metrics", "ProcessShard.inflight"),
+        doc="shard-pool slot table, per-shard in-flight counts, the "
+            "replayed cost-parameter publication and last-known shard "
+            "metrics; held only for routing decisions and slot swaps, "
+            "never while a shard executes a job",
+    ),
+    LockSpec(
+        name="server.shard",
+        rank=15,
+        kind="lock",
+        owners=("repro.server.shards:ProcessShard._lock",),
+        guards=("ProcessShard._requests",),
+        doc="one worker shard's IPC pipe: serializes request/response "
+            "pairs on the connection (held across the child's execution "
+            "of the request — the shard process is the critical section)",
     ),
     LockSpec(
         name="context.publish",

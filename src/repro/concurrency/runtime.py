@@ -43,6 +43,22 @@ _DEBUG = os.environ.get("REPRO_LOCK_CHECK", "") not in ("", "0")
 _HELD = threading.local()
 
 
+def _reset_held_after_fork() -> None:
+    """Clear the forking thread's held-lock stack in the child.
+
+    A forked child (the job server's process shards) inherits the
+    spawning thread's thread-local state; any ordered locks that thread
+    held at fork time would otherwise look "held" forever in the child
+    and poison its rank assertions.
+    """
+    global _HELD
+    _HELD = threading.local()
+
+
+if hasattr(os, "register_at_fork"):  # not on every platform
+    os.register_at_fork(after_in_child=_reset_held_after_fork)
+
+
 def set_debug(enabled: bool) -> None:
     """Turn per-thread rank assertions on or off (process-wide)."""
     global _DEBUG

@@ -144,6 +144,16 @@ class RheemContext:
             # under parameters that will never be probed again.
             self.result_store.flush()
 
+    def cost_params_snapshot(self) -> dict[str, OperatorCostParams]:
+        """A consistent copy of the currently published cost parameters.
+
+        Taken under the publish lock so a concurrent publication can
+        never be observed half-applied; the copy is safe to ship across
+        process boundaries (the job server broadcasts it to shards).
+        """
+        with self._publish_lock:
+            return dict(self.cost_model.params)
+
     # ------------------------------------------------------------- plumbing
     @property
     def vfs(self):

@@ -3,13 +3,20 @@ demo paper: many applications submitting plans to ONE shared cross-platform
 layer).
 
 :class:`JobServer` accepts JSON job documents into a bounded queue with
-admission control, dispatches them to a thread worker pool, and runs each
-job against an isolated per-job view — its own
-:class:`~repro.trace.Tracer`, channel environment and executor scratch
-state — while sharing the read-mostly expensive pieces across jobs: the
-execution-plan cache, the conversion graph's memo tables, the metrics
-registry and the learned cost parameters, each behind an explicit lock
-(the lock order is documented in ``DESIGN.md``).
+admission control (structured 429 rejections carrying queue depth and a
+``Retry-After`` estimate), priority scheduling and per-tenant fair-share
+quotas, then dispatches them to one of two backends:
+
+* the **thread** backend (the baseline) shares one
+  :class:`~repro.core.context.RheemContext` across a worker-thread pool —
+  per-job isolation for tracer/channel/executor scratch state, explicit
+  locks (see ``DESIGN.md``) around the shared plan cache, conversion-graph
+  memos, metrics registry and learned cost parameters;
+* the **process** backend (:mod:`repro.server.shards`) scales past the
+  GIL: one context replica per worker process, jobs routed stickily by
+  plan fingerprint so each replica's caches stay hot, cost-parameter
+  publication broadcast to every shard, and ``/metrics`` aggregated
+  across processes back into the single-registry shape.
 
 Jobs move through the states ``queued -> running -> done|failed|timeout``
 (or are ``rejected`` at admission) and are queryable by job id; per-job
@@ -20,11 +27,23 @@ boundaries; shutdown drains the queue gracefully.
 from .http import make_wsgi_app
 from .jobs import Job, JobState
 from .server import AdmissionError, JobServer
+from .shards import (
+    ProcessShard,
+    ShardCallTimeout,
+    ShardDied,
+    ShardPool,
+    document_fingerprint,
+)
 
 __all__ = [
     "AdmissionError",
     "Job",
     "JobServer",
     "JobState",
+    "ProcessShard",
+    "ShardCallTimeout",
+    "ShardDied",
+    "ShardPool",
+    "document_fingerprint",
     "make_wsgi_app",
 ]

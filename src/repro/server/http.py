@@ -3,12 +3,17 @@
 Routes::
 
     POST /jobs                submit and wait for the response (200/400);
-                              queue-full admission rejections map to 429,
-                              shutdown rejections to 503, deadline
-                              timeouts to 408
+                              queue-full admission rejections map to 429
+                              with a ``Retry-After`` header, shutdown
+                              rejections to 503, deadline timeouts to 408
     POST /jobs?mode=async     submit and return ``202 {"job_id": ...}``
     GET  /jobs/<id>           job status (plus the response once terminal)
-    GET  /metrics             the shared metrics-registry snapshot
+    GET  /metrics             the metrics snapshot — aggregated across
+                              every worker process on the process backend
+
+Multi-tenant envelope: ``?tenant=`` (or an ``X-Tenant`` header) and
+``?priority=`` tag the submission for fair-share admission; both default
+to the document's own ``tenant``/``priority`` fields.
 
 Usable with any WSGI server or called directly in tests; no sockets
 required.
@@ -39,8 +44,14 @@ _STATUS_LINES = {
 
 def _reply(start_response: StartResponse, code: int,
            payload: dict[str, Any]) -> list[bytes]:
-    start_response(_STATUS_LINES[code],
-                   [("Content-Type", "application/json")])
+    headers = [("Content-Type", "application/json")]
+    if code == 429 and "retry_after_s" in payload:
+        # RFC-style backpressure hint: the 429 body's estimate (derived
+        # from the server's service-time EWMA), rounded up to whole
+        # seconds for the header form.
+        headers.append(("Retry-After",
+                        str(max(1, round(payload["retry_after_s"])))))
+    start_response(_STATUS_LINES[code], headers)
     return [json.dumps(payload).encode()]
 
 
@@ -63,7 +74,7 @@ def make_wsgi_app(server: JobServer) -> WsgiApp:
         path = environ.get("PATH_INFO", "")
 
         if method == "GET" and path == "/metrics":
-            return _reply(start_response, 200, server.metrics.snapshot())
+            return _reply(start_response, 200, server.metrics_snapshot())
 
         if method == "GET" and path.startswith("/jobs/"):
             status = server.status(path[len("/jobs/"):])
@@ -93,8 +104,21 @@ def make_wsgi_app(server: JobServer) -> WsgiApp:
             except ValueError:
                 return _reply(start_response, 400, {
                     "status": "error", "error": "bad deadline_s"})
+        tenant: str | None = None
+        if "tenant" in query:
+            tenant = query["tenant"][0]
+        elif environ.get("HTTP_X_TENANT"):
+            tenant = str(environ["HTTP_X_TENANT"])
+        priority: int | None = None
+        if "priority" in query:
+            try:
+                priority = int(query["priority"][0])
+            except ValueError:
+                return _reply(start_response, 400, {
+                    "status": "error", "error": "bad priority"})
 
-        job = server.submit(document, deadline_s=deadline_s)
+        job = server.submit(document, deadline_s=deadline_s,
+                            tenant=tenant, priority=priority)
         if job.state is JobState.REJECTED:
             assert job.response is not None
             return _reply(start_response, _response_code(job.response),

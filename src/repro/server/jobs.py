@@ -39,9 +39,14 @@ TERMINAL_STATES = (JobState.DONE, JobState.FAILED, JobState.TIMEOUT,
 class Job:
     """One submission: its document, per-job tracer and lifecycle record.
 
-    All mutable fields are written under the server's job-table lock; the
-    ``finished`` event is set exactly once when the job reaches a terminal
-    state, so waiters never poll.
+    All mutable fields are written under the server's job-table lock (or,
+    for ``shard_slot``, by the single worker dispatching the job before
+    any reader can see it); the ``finished`` event is set exactly once
+    when the job reaches a terminal state, so waiters never poll.
+
+    ``tenant`` and ``priority`` drive fair-share admission and pick
+    order; ``fingerprint`` is the sticky-routing key (process backend
+    only) and ``shard_slot`` records where the job actually ran.
     """
 
     job_id: str
@@ -52,7 +57,11 @@ class Job:
     finished_at: float | None = None
     deadline_s: float | None = None
     response: dict[str, Any] | None = None
-    tracer: Tracer = field(default_factory=Tracer)
+    tenant: str = "default"
+    priority: int = 0
+    fingerprint: str | None = None
+    shard_slot: int | None = None
+    tracer: Any = field(default_factory=Tracer)
     finished: threading.Event = field(default_factory=threading.Event)
 
     @property
@@ -75,7 +84,11 @@ class Job:
             "job_id": self.job_id,
             "state": self.state.value,
             "deadline_s": self.deadline_s,
+            "tenant": self.tenant,
+            "priority": self.priority,
         }
+        if self.shard_slot is not None:
+            status["shard"] = self.shard_slot
         if self.wait_s is not None:
             status["wait_s"] = self.wait_s
         if self.run_s is not None:

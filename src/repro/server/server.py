@@ -1,34 +1,56 @@
-"""The concurrent job server: worker pool, admission control, deadlines.
+"""The concurrent job server: worker pools, admission control, deadlines.
 
-One :class:`JobServer` wraps one shared :class:`~repro.core.context.
-RheemContext`.  Jobs are admitted into a bounded queue (capacity =
-``workers + queue_size``; the structured 429-style rejection is returned
-instead of blocking when it is full), dispatched to a
-:class:`~concurrent.futures.ThreadPoolExecutor`, and each runs through
-:class:`~repro.api.service.RheemService` with a per-job tracer and a
-deadline enforced cooperatively at executor stage boundaries.
+One :class:`JobServer` schedules jobs onto one of two backends:
 
-Shared-vs-isolated split (see ``DESIGN.md`` for the lock order):
+* ``backend="thread"`` — the baseline: a shared
+  :class:`~repro.core.context.RheemContext` behind a
+  :class:`~concurrent.futures.ThreadPoolExecutor`.  Jobs share the
+  expensive read-mostly state (plan cache, conversion-graph memo tables,
+  metrics, learned cost parameters) under the documented lock order and
+  isolate everything else per job.
+* ``backend="process"`` — scale-out past the GIL: a
+  :class:`~repro.server.shards.ShardPool` of worker *processes*, each
+  holding a private context replica.  Jobs route stickily by plan
+  fingerprint so a plan's home shard keeps its caches hot;
+  :meth:`publish_cost_params` broadcasts to every shard and
+  :meth:`metrics_snapshot` merges the per-shard registries back into the
+  single-registry shape.
 
-* **shared, locked** — execution-plan cache, conversion-graph memo
-  tables, metrics registry, learned cost parameters;
-* **per-job** — tracer, channel environment, executor scratch state,
-  monitor, critical-path tracker.
+Both backends share one admission and dispatch layer: a bounded queue
+(capacity = ``workers + queue_size``) whose structured 429-style
+rejection carries the queue depth and a ``Retry-After`` estimate derived
+from an EWMA of recent service times; priority scheduling (higher
+``priority`` first); and per-tenant fair-share dispatch — an optional
+hard cap on concurrently *running* jobs per tenant plus a
+fewest-running-first tie-break, so one chatty tenant cannot starve the
+rest of the pool.
+
+Dispatch is token-based: every admission enqueues one drain token into
+the worker pool, and each token loops *pick → run → account → re-pick*
+until no eligible job remains.  The re-pick after finishing is what
+makes quota-blocked jobs live-lock free — the worker whose completion
+freed a tenant slot is itself the one that immediately rechecks the
+queue.
 """
 
 from __future__ import annotations
 
 import itertools
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
 
 from ..api.service import RheemService
 from ..concurrency import OrderedLock
 from ..core.context import RheemContext
 from ..core.executor import JobCancelled
-from ..trace import Tracer
+from ..trace import NO_TRACER, MetricsRegistry, Tracer, merge_snapshots
 from .jobs import Job, JobState
+from .shards import ShardDied, ShardPool, document_fingerprint
+
+#: Weight of the newest sample in the service-time EWMA feeding the
+#: ``Retry-After`` estimate on queue-full rejections.
+_EWMA_ALPHA = 0.2
 
 
 class AdmissionError(RuntimeError):
@@ -47,11 +69,12 @@ class JobServer:
     """Accepts, schedules and isolates concurrent job-document executions.
 
     Args:
-        ctx: The shared context (a fresh one by default).  Its plan cache,
-            conversion graph, metrics registry and cost model are shared by
-            every job; everything else a job touches is per-job state.
+        ctx: The shared context for the thread backend (a fresh one by
+            default).  Unused — and never built — under the process
+            backend, where every shard owns a private replica.
         env: Extra names exposed to document UDF expressions.
-        workers: Worker-thread count (``>= 1``).
+        workers: Worker count (``>= 1``): pool threads for the thread
+            backend, shard *processes* for the process backend.
         queue_size: Jobs allowed to *wait* beyond the running ones; the
             admission bound is ``workers + queue_size`` jobs in the system.
         default_deadline_s: Deadline applied to jobs that do not carry one
@@ -61,7 +84,25 @@ class JobServer:
             worker (default ``2 * workers``).  Each job's executor caps
             its ``stage_parallelism`` at ``stage_threads // workers``, so
             admission control keeps bounding the real thread count even
-            when jobs run wide polystore plans concurrently.
+            when jobs run wide polystore plans concurrently.  (Thread
+            backend only; a process shard budgets its own lanes.)
+        backend: ``"thread"`` (default, the bit-for-bit baseline) or
+            ``"process"``.
+        context_factory: Process backend: builds one context replica
+            inside each shard process (default: a plain
+            :class:`RheemContext`).  Must be picklable under the
+            ``spawn`` start method; any callable works under ``fork``.
+        tenant_quota: Maximum concurrently *running* jobs per tenant
+            (``None``: no cap).  Jobs over quota stay queued — they are
+            never rejected for quota, only for capacity — while other
+            tenants' jobs overtake them.
+        tracing: Attach a recording per-job tracer (default).  Off, jobs
+            run against the no-op tracer and responses omit the
+            ``trace`` block — the serving hot path for benchmarks.
+        respawn_shards: Process backend: replace dead shards with fresh
+            replicas (default).  Off, a dead slot stays retired.
+        start_method: Process backend: multiprocessing start method
+            (default ``fork`` where available).
     """
 
     def __init__(
@@ -72,29 +113,65 @@ class JobServer:
         queue_size: int = 16,
         default_deadline_s: float | None = None,
         stage_threads: int | None = None,
+        *,
+        backend: str = "thread",
+        context_factory: Callable[[], Any] | None = None,
+        tenant_quota: int | None = None,
+        tracing: bool = True,
+        respawn_shards: bool = True,
+        start_method: str | None = None,
     ) -> None:
-        self.ctx = ctx if ctx is not None else RheemContext()
-        self.service = RheemService(self.ctx, env)
+        if backend not in ("thread", "process"):
+            raise ValueError(f"backend must be 'thread' or 'process', "
+                             f"got {backend!r}")
+        self.backend = backend
         self.workers = max(1, int(workers))
         self.queue_size = max(0, int(queue_size))
         self.default_deadline_s = default_deadline_s
+        self.tenant_quota = (None if tenant_quota is None
+                             else max(1, int(tenant_quota)))
         self.stage_threads = max(self.workers, int(
             stage_threads if stage_threads is not None else 2 * self.workers))
-        # Executors read the cap from the shared config; an explicit
-        # user-configured cap wins.
-        self.ctx.config.setdefault("stage_parallelism_cap",
-                                   max(1, self.stage_threads // self.workers))
-        self.metrics = self.ctx.metrics
+        self._tracing = bool(tracing)
+        self.ctx: RheemContext | None
+        self.service: RheemService | None
+        self._shards: ShardPool | None
+        if backend == "process":
+            # The parent never executes plans: no context here, just its
+            # own registry for server/lock instruments.  Shard replicas
+            # are built by the factory inside each worker process.
+            self.ctx = None
+            self.service = None
+            self.metrics = MetricsRegistry()
+            self._shards = ShardPool(
+                context_factory if context_factory is not None
+                else RheemContext,
+                shards=self.workers, env=env, metrics=self.metrics,
+                respawn=respawn_shards, start_method=start_method)
+        else:
+            self.ctx = ctx if ctx is not None else RheemContext()
+            self.service = RheemService(self.ctx, env)
+            # Executors read the cap from the shared config; an explicit
+            # user-configured cap wins.
+            self.ctx.config.setdefault(
+                "stage_parallelism_cap",
+                max(1, self.stage_threads // self.workers))
+            self.metrics = self.ctx.metrics
+            self._shards = None
         # Outermost lock of the runtime (rank 10 in the registry —
-        # repro.concurrency.order): guards the job table, the
-        # queued/running counters and the accepting flag.  Never held
-        # while a job executes.
+        # repro.concurrency.order): guards the job table, the pending
+        # queue, the queued/running/per-tenant counters, the service-time
+        # EWMA and the accepting/cancelled flags.  Never held while a job
+        # executes.
         self._lock = OrderedLock("server.jobs", self.metrics)
         self._jobs: dict[str, Job] = {}
-        self._futures: dict[str, Future[None]] = {}
+        self._pending: list[Job] = []
+        self._tenant_running: dict[str, int] = {}
+        self._run_ewma: float | None = None
         self._queued = 0
         self._running = 0
         self._accepting = True
+        self._cancelled = False
         self._ids = itertools.count(1)
         self._pool = ThreadPoolExecutor(max_workers=self.workers,
                                         thread_name_prefix="rheem-job")
@@ -106,21 +183,37 @@ class JobServer:
         return self.workers + self.queue_size
 
     def submit(self, document: dict[str, Any],
-               deadline_s: float | None = None) -> Job:
+               deadline_s: float | None = None,
+               tenant: str | None = None,
+               priority: int | None = None) -> Job:
         """Admit one job document; returns its :class:`Job` handle.
 
         The returned job is either ``queued`` (admitted — await
         :meth:`result`) or ``rejected`` with a structured 429/503-style
         ``response`` already attached; a rejected job never occupies a
         queue slot and is not retained in the job table.
+
+        ``tenant`` and ``priority`` default to the document's own
+        ``tenant``/``priority`` envelope fields (themselves defaulting to
+        ``"default"``/``0``); neither participates in the routing
+        fingerprint, so tenants submitting the same plan share its home
+        shard's warm caches.
         """
         now = time.monotonic()
         if deadline_s is None:
             deadline_s = self.default_deadline_s
+        if tenant is None:
+            tenant = str(document.get("tenant", "default"))
+        if priority is None:
+            priority = int(document.get("priority", 0))
+        fingerprint = (document_fingerprint(document)
+                       if self._shards is not None else None)
         with self._lock:
             job_id = f"job-{next(self._ids)}"
             job = Job(job_id=job_id, document=document, submitted_at=now,
-                      deadline_s=deadline_s)
+                      deadline_s=deadline_s, tenant=tenant,
+                      priority=priority, fingerprint=fingerprint,
+                      tracer=Tracer() if self._tracing else NO_TRACER)
             if not self._accepting:
                 return self._reject_locked(job, code=503,
                                            kind="ServerStopping",
@@ -132,29 +225,48 @@ class JobServer:
                            f"{self._running} running "
                            f"(capacity {self.capacity})"))
             self._jobs[job_id] = job
+            self._pending.append(job)
             self._queued += 1
             self._update_gauges_locked()
             # Pool.submit is a non-blocking enqueue; keeping it atomic
-            # with admission keeps shutdown's _futures snapshot exact (a
-            # cancelled job can never miss the table).
+            # with admission guarantees a drain token exists for every
+            # pending job even as shutdown races the admission path.
             # lock-ok: non-blocking enqueue, must stay atomic w/ admission
-            self._futures[job_id] = self._pool.submit(self._run, job)
+            self._pool.submit(self._drain)
         self.metrics.counter("server.jobs.submitted").inc()
         return job
 
     def submit_sync(self, document: dict[str, Any],
                     deadline_s: float | None = None,
-                    timeout: float | None = None) -> dict[str, Any]:
+                    timeout: float | None = None,
+                    tenant: str | None = None,
+                    priority: int | None = None) -> dict[str, Any]:
         """Admit and wait; returns the job's response document.
 
         Raises:
             AdmissionError: If the job was rejected at admission.
         """
-        job = self.submit(document, deadline_s=deadline_s)
+        job = self.submit(document, deadline_s=deadline_s, tenant=tenant,
+                          priority=priority)
         if job.state is JobState.REJECTED:
             assert job.response is not None
             raise AdmissionError(job.response)
         return self.result(job.job_id, timeout=timeout)
+
+    def _retry_after_locked(self) -> float:
+        """Estimated seconds until a queue slot frees (backpressure hint).
+
+        With ``W`` workers draining jobs that each take about the EWMA of
+        recent service times, a client retrying after roughly
+        ``ewma * (in_system + 1) / W`` seconds finds the backlog it saw
+        fully drained.  Before any job has finished, fall back to one
+        second — better an arbitrary-but-bounded hint than none.
+        """
+        if self._run_ewma is None:
+            return 1.0
+        in_system = self._queued + self._running
+        return round(
+            max(0.1, self._run_ewma * (in_system + 1) / self.workers), 3)
 
     def _reject_locked(self, job: Job, code: int, kind: str,
                        error: str) -> Job:
@@ -164,6 +276,8 @@ class JobServer:
                         "error": error, "job_id": job.job_id,
                         "queue_depth": self._queued,
                         "in_flight": self._running}
+        if code == 429:
+            job.response["retry_after_s"] = self._retry_after_locked()
         job.finished.set()
         self.metrics.counter("server.jobs.rejected").inc()
         return job
@@ -202,15 +316,63 @@ class JobServer:
             states: dict[str, int] = {}
             for job in self._jobs.values():
                 states[job.state.value] = states.get(job.state.value, 0) + 1
-            return {
+            snap: dict[str, Any] = {
+                "backend": self.backend,
                 "workers": self.workers,
                 "queue_size": self.queue_size,
                 "capacity": self.capacity,
                 "accepting": self._accepting,
                 "queue_depth": self._queued,
                 "in_flight": self._running,
+                "tenant_quota": self.tenant_quota,
+                "tenants_running": dict(self._tenant_running),
                 "states": states,
             }
+        if self._shards is not None:
+            snap["shards"] = self._shards.snapshot()
+        return snap
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The ``/metrics`` document, aggregated across every process.
+
+        Thread backend: the shared registry's snapshot, unchanged.
+        Process backend: the parent registry (admission counters, queue
+        gauges, lock histograms) merged with every shard's registry into
+        the same single-registry shape.
+        """
+        if self._shards is None:
+            return self.metrics.snapshot()
+        return merge_snapshots(self.metrics.snapshot(),
+                               self._shards.metrics_snapshot())
+
+    # --------------------------------------------------------- coordination
+    def publish_cost_params(self, params: dict[str, Any]) -> int:
+        """Install learned cost parameters on every execution context.
+
+        Thread backend: one publication on the shared context.  Process
+        backend: broadcast to every live shard (each replica bumps its
+        cost-model version and flushes its caches); the publication is
+        replayed into respawned shards.  Returns how many contexts
+        acknowledged.
+        """
+        if self._shards is not None:
+            return self._shards.publish(params)
+        assert self.ctx is not None
+        self.ctx.publish_cost_params(params)
+        return 1
+
+    def warm(self, document: dict[str, Any]) -> list[dict[str, Any]]:
+        """Pre-warm plan caches by running ``document`` out-of-band.
+
+        Process backend: the document runs on *every* live shard, so
+        later spills off its home shard still hit warm caches.  Thread
+        backend: one run against the shared context.  Warm-up runs
+        bypass admission control and publish no job counters.
+        """
+        if self._shards is not None:
+            return self._shards.broadcast_job(document, trace=False)
+        assert self.service is not None
+        return [self.service.submit(document, tracer=NO_TRACER)]
 
     # ------------------------------------------------------------ lifecycle
     def shutdown(self, drain: bool = True) -> None:
@@ -219,31 +381,36 @@ class JobServer:
         With ``drain=True`` every already-admitted job runs to completion
         before the pool stops.  With ``drain=False`` still-queued jobs are
         cancelled and finish ``failed`` (kind ``ServerShutdown``); running
-        jobs are never interrupted mid-stage.
+        jobs are never interrupted mid-stage.  Process shards are stopped
+        after the dispatch layer: a busy shard finishes its in-flight job
+        before it sees the stop request.
         """
+        cancelled: list[Job] = []
         with self._lock:
             self._accepting = False
-            futures = dict(self._futures)
+            if not drain:
+                self._cancelled = True
+                cancelled = list(self._pending)
+                self._pending.clear()
+                self._queued -= len(cancelled)
+                now = time.monotonic()
+                for job in cancelled:
+                    job.state = JobState.FAILED
+                    job.finished_at = now
+                    job.response = {
+                        "status": "error", "kind": "ServerShutdown",
+                        "error": "server shut down before the job ran",
+                        "job_id": job.job_id}
+                self._update_gauges_locked()
         if drain:
             self._pool.shutdown(wait=True)
-            return
-        self._pool.shutdown(wait=False, cancel_futures=True)
-        for job_id, future in futures.items():
-            if not future.cancelled():
-                continue
-            with self._lock:
-                job = self._jobs[job_id]
-                if job.state is not JobState.QUEUED:
-                    continue
-                job.state = JobState.FAILED
-                job.finished_at = time.monotonic()
-                job.response = {"status": "error", "kind": "ServerShutdown",
-                                "error": "server shut down before the job "
-                                         "ran", "job_id": job_id}
-                self._queued -= 1
-                self._update_gauges_locked()
-            self.metrics.counter("server.jobs.failed").inc()
-            job.finished.set()
+        else:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            for job in cancelled:
+                self.metrics.counter("server.jobs.failed").inc()
+                job.finished.set()
+        if self._shards is not None:
+            self._shards.shutdown()
 
     def __enter__(self) -> "JobServer":
         return self
@@ -260,44 +427,123 @@ class JobServer:
             raise JobCancelled(
                 f"{job.job_id} exceeded its deadline of {job.deadline_s}s")
 
-    def _run(self, job: Job) -> None:
-        """Worker body: run one admitted job under per-job state."""
-        with self._lock:
-            self._queued -= 1
-            self._running += 1
-            job.state = JobState.RUNNING
-            job.started_at = time.monotonic()
-            self._update_gauges_locked()
-        assert job.wait_s is not None
-        self.metrics.histogram("server.wait_s").observe(job.wait_s)
-        tracer: Tracer = job.tracer
-        state = JobState.DONE
+    def _pick_locked(self) -> Job | None:
+        """The next pending job this worker should run (``None``: none).
+
+        Eligibility: the job's tenant is under its running-jobs quota.
+        Among eligible jobs the pick order is priority (higher first),
+        then fewest currently-running jobs for the tenant (fair share),
+        then FIFO — so with no priorities and no quotas the queue is
+        exactly the baseline FIFO.
+        """
+        if self._cancelled:
+            return None
+        best: Job | None = None
+        best_key: tuple[int, int] | None = None
+        for job in self._pending:  # FIFO order; strict < keeps the oldest
+            running = self._tenant_running.get(job.tenant, 0)
+            if self.tenant_quota is not None and running >= self.tenant_quota:
+                continue
+            key = (-job.priority, running)
+            if best_key is None or key < best_key:
+                best, best_key = job, key
+        return best
+
+    def _drain(self) -> None:
+        """Worker body: keep picking and running eligible pending jobs.
+
+        One token is enqueued per admission, so there are always at least
+        as many tokens as pending jobs; the re-pick after each completion
+        covers jobs that were quota-blocked when their own token ran.
+        """
+        while True:
+            with self._lock:
+                job = self._pick_locked()
+                if job is None:
+                    return
+                self._pending.remove(job)
+                self._queued -= 1
+                self._running += 1
+                self._tenant_running[job.tenant] = \
+                    self._tenant_running.get(job.tenant, 0) + 1
+                job.state = JobState.RUNNING
+                job.started_at = time.monotonic()
+                self._update_gauges_locked()
+            assert job.wait_s is not None
+            self.metrics.histogram("server.wait_s").observe(job.wait_s)
+            state, response = self._execute(job)
+            with self._lock:
+                job.state = state
+                job.finished_at = time.monotonic()
+                job.response = response
+                self._running -= 1
+                left = self._tenant_running.get(job.tenant, 1) - 1
+                if left > 0:
+                    self._tenant_running[job.tenant] = left
+                else:
+                    self._tenant_running.pop(job.tenant, None)
+                assert job.run_s is not None
+                self._run_ewma = job.run_s if self._run_ewma is None else \
+                    ((1 - _EWMA_ALPHA) * self._run_ewma
+                     + _EWMA_ALPHA * job.run_s)
+                self._update_gauges_locked()
+            self.metrics.histogram("server.run_s").observe(job.run_s)
+            self.metrics.counter(f"server.jobs.{state.value}").inc()
+            job.finished.set()
+            # Loop: this completion may have freed a tenant-quota slot,
+            # and this worker is the one that must recheck the queue.
+
+    def _execute(self, job: Job) -> tuple[JobState, dict[str, Any]]:
+        """Run one picked job on the configured backend; never raises."""
         try:
             # The deadline may already have passed while the job queued.
             self._cancel_check(job)
+            if self._shards is not None:
+                return self._execute_on_shard(job)
+            assert self.service is not None
             response = self.service.submit(
-                job.document, tracer=tracer,
+                job.document, tracer=job.tracer,
                 cancel_check=lambda: self._cancel_check(job))
-            if response.get("status") != "ok":
-                state = JobState.FAILED
         except JobCancelled as exc:
-            state = JobState.TIMEOUT
-            response = {"status": "error", "kind": "Timeout",
-                        "error": str(exc), "job_id": job.job_id}
+            return JobState.TIMEOUT, {
+                "status": "error", "kind": "Timeout", "error": str(exc),
+                "job_id": job.job_id}
         except Exception as exc:  # noqa: BLE001 — a worker must never die
-            state = JobState.FAILED
-            response = {"status": "error", "kind": type(exc).__name__,
-                        "error": str(exc), "job_id": job.job_id}
-        with self._lock:
-            job.state = state
-            job.finished_at = time.monotonic()
-            job.response = response
-            self._running -= 1
-            self._update_gauges_locked()
-        assert job.run_s is not None
-        self.metrics.histogram("server.run_s").observe(job.run_s)
-        self.metrics.counter(f"server.jobs.{state.value}").inc()
-        job.finished.set()
+            return JobState.FAILED, {
+                "status": "error", "kind": type(exc).__name__,
+                "error": str(exc), "job_id": job.job_id}
+        state = (JobState.DONE if response.get("status") == "ok"
+                 else JobState.FAILED)
+        return state, response
+
+    def _execute_on_shard(self, job: Job) -> tuple[JobState, dict[str, Any]]:
+        """Route one job to its (sticky) shard and map the outcome."""
+        assert self._shards is not None and job.fingerprint is not None
+        remaining: float | None = None
+        if job.deadline_s is not None:
+            remaining = job.deadline_s - (time.monotonic() - job.submitted_at)
+        shard = self._shards.pick(job.fingerprint)
+        job.shard_slot = shard.slot
+        try:
+            response = shard.run_job(job.job_id, job.document, remaining,
+                                     self._tracing)
+        except ShardDied as exc:
+            # The shard's context replica died with it; the job is
+            # terminally failed (no silent retry — the caller decides).
+            # handle_failure retires the slot exactly once, so the
+            # routing ring re-maps this fingerprint for later jobs.
+            self._shards.handle_failure(shard)
+            return JobState.FAILED, {
+                "status": "error", "kind": "ShardFailure",
+                "error": str(exc), "job_id": job.job_id,
+                "shard": shard.slot}
+        finally:
+            self._shards.release(shard)
+        if response.get("kind") == "Timeout":
+            return JobState.TIMEOUT, response
+        state = (JobState.DONE if response.get("status") == "ok"
+                 else JobState.FAILED)
+        return state, response
 
     def _update_gauges_locked(self) -> None:
         self.metrics.gauge("server.queue_depth").set(self._queued)

@@ -16,7 +16,13 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
 from .spans import NO_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -30,6 +36,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "merge_snapshots",
     "NO_TRACER",
     "NullTracer",
     "Span",

@@ -16,6 +16,7 @@ acquire another lock while holding it, which makes it always safe to take.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -25,6 +26,23 @@ from ..concurrency.runtime import OrderedLock
 #: Innermost lock in the documented lock order: never acquire any other
 #: lock while holding it.
 _METRICS_LOCK = OrderedLock("metrics")
+
+
+def _reset_metrics_lock_after_fork() -> None:
+    """Replace the module lock with a fresh one in a forked child.
+
+    The job server's process shards are forked while parent threads may
+    hold the metrics lock (every instrument update takes it); the child
+    would inherit it in the locked state and deadlock on its first
+    counter increment.  Instruments look the lock up through the module
+    global on every use, so swapping the global is sufficient.
+    """
+    global _METRICS_LOCK
+    _METRICS_LOCK = OrderedLock("metrics")
+
+
+if hasattr(os, "register_at_fork"):  # not on every platform
+    os.register_at_fork(after_in_child=_reset_metrics_lock_after_fork)
 
 
 @dataclass
@@ -148,3 +166,46 @@ class MetricsRegistry:
             "histograms": {n: h.to_json()
                            for n, h in sorted(self._histograms.items())},
         }
+
+
+def merge_snapshots(*snapshots: dict[str, Any]) -> dict[str, Any]:
+    """Aggregate registry snapshots from several processes into one.
+
+    The process-backend job server keeps one :class:`MetricsRegistry` per
+    worker shard (plus the parent's own); ``/metrics`` merges them into a
+    single snapshot with the exact single-registry shape:
+
+    * **counters** sum — each shard counted disjoint events;
+    * **gauges** sum — every multi-process gauge in the tree is an
+      occupancy or byte total (queue depth, in-flight stages, store
+      bytes), for which the fleet-wide value is the sum;
+    * **histograms** merge exactly on count/sum/min/max, with the mean
+      recomputed from the merged totals (reservoir percentiles are
+      per-process and are not merged).
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict[str, float]] = {}
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0.0) + value
+        for name, hist in snap.get("histograms", {}).items():
+            if not hist.get("count"):
+                continue
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = dict(hist)
+                continue
+            merged["count"] += hist["count"]
+            merged["sum"] += hist["sum"]
+            merged["min"] = min(merged["min"], hist["min"])
+            merged["max"] = max(merged["max"], hist["max"])
+    for hist in histograms.values():
+        hist["mean"] = hist["sum"] / hist["count"]
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }

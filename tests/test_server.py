@@ -5,6 +5,7 @@ test that a failed job never leaks its tracer onto the shared context."""
 import io
 import json
 import threading
+import time
 
 import pytest
 
@@ -35,6 +36,20 @@ def _ctx(**config):
     ctx = RheemContext(config=config or None)
     ctx.vfs.write("hdfs://srv/x.txt", ["a b", "b"], sim_factor=10.0)
     return ctx
+
+
+def _wait_until_running(job, timeout=10.0):
+    """Spin until the server's worker has actually picked the job up.
+
+    Dispatch commits at pick time (a worker taking the job off the
+    pending queue), so "the running job" in a test must be observed in
+    the RUNNING state before shutdown semantics around it are asserted.
+    """
+    deadline = time.monotonic() + timeout
+    while job.state is JobState.QUEUED:
+        if time.monotonic() > deadline:
+            raise AssertionError(f"{job.job_id} never started running")
+        time.sleep(0.001)
 
 
 def _gated_doc():
@@ -138,6 +153,7 @@ class TestJobLifecycle:
                           workers=1, queue_size=4)
         running = server.submit(doc)
         queued = [server.submit(doc) for __ in range(3)]
+        _wait_until_running(running)
         server.shutdown(drain=False)
         gate.set()
         responses = [server.result(j.job_id, timeout=30) for j in queued]
