@@ -2,8 +2,9 @@
 """Compare fresh benchmark numbers against the committed baselines.
 
 The CI ``benchmarks`` job re-runs ``scripts/bench_optimizer_cache.py``,
-``scripts/bench_concurrency.py``, ``scripts/bench_stage_parallelism.py``
-and ``scripts/bench_batch_throughput.py`` into a scratch directory, then
+``scripts/bench_concurrency.py``, ``scripts/bench_stage_parallelism.py``,
+``scripts/bench_batch_throughput.py``, ``scripts/bench_result_reuse.py``
+and ``scripts/bench_calibration.py`` into a scratch directory, then
 calls this script to compare the fresh reports against the
 ``BENCH_*.json`` files committed at the repository root.  Only *ratio*
 metrics are gated — warm-cache speedup, concurrency throughput scaling,
@@ -67,6 +68,12 @@ GATED_METRICS: list[tuple[str, str, tuple[str, ...]]] = [
     ("BENCH_result_reuse.json",
      "result-reuse warm speedup (mixed resubmission batch)",
      ("warm_speedup",)),
+    ("BENCH_calibration.json",
+     "online-calibration end-to-end speedup (mis-costed workload)",
+     ("calibration_speedup",)),
+    ("BENCH_calibration.json",
+     "beam-enumeration speedup vs lossless (60-op chain)",
+     ("beam", "beam_speedup")),
 ]
 
 #: Printed for context, never gated (absolute, hardware-dependent).

@@ -7,6 +7,8 @@ Usage::
     python -m repro serve [--port 8642] [--backend thread|process]
                           [--jobs N] [--queue-size N]
                           [--deadline SECONDS] [--tenant-quota N]
+                          [--calibrate]
+    python -m repro learn [--jobs N] [--out params.json]
     python -m repro lint SCRIPT.{py,latin}
 
 ``run`` executes a RheemLatin script against a fresh context (optionally
@@ -21,7 +23,14 @@ threads, or with ``--backend process`` one context-replica process each,
 scaling past the GIL), a bounded admission queue (429 + ``Retry-After``
 on overflow), optional per-job deadlines and per-tenant fair-share
 quotas — via a threading wsgiref server; Ctrl-C drains the queue before
-exiting.  ``lint`` executes a Python or RheemLatin script
+exiting.  With ``--calibrate`` the server closes the trace → cost-model
+loop online: committed job traces feed a bounded calibration corpus and
+a genetic refit republishes cost parameters to every worker once enough
+(or sufficiently drifted) samples accumulate.  ``learn`` is the offline
+variant: it generates (or loads) execution logs, fits the cost model
+off-line and writes the learned parameters to a JSON file that
+``cost_params`` in a job document or ``load_params`` can consume.
+``lint`` executes a Python or RheemLatin script
 under the static analyzer and prints every diagnostic raised against the
 plans it builds; the exit status is 1 when any error-severity diagnostic
 fires, else 0.
@@ -118,10 +127,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         daemon_threads = True
 
+    calibration: dict[str, Any] = {}
+    if args.calibrate_min_samples is not None:
+        calibration["min_samples"] = args.calibrate_min_samples
+    if args.calibrate_drift is not None:
+        calibration["drift_threshold"] = args.calibrate_drift
     common: dict[str, Any] = dict(
         workers=args.jobs, queue_size=args.queue_size,
         default_deadline_s=args.deadline, stage_threads=args.stage_threads,
-        backend=args.backend, tenant_quota=args.tenant_quota)
+        backend=args.backend, tenant_quota=args.tenant_quota,
+        calibrate=args.calibrate, calibration=calibration)
     if args.backend == "process":
         factory = functools.partial(
             _context_from_options, getattr(args, "no_cache", False),
@@ -135,7 +150,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"rheem job server on http://127.0.0.1:{args.port}/jobs "
           f"({args.jobs} {unit}, queue {args.queue_size}, "
           f"deadline {args.deadline or 'none'}, "
-          f"tenant quota {args.tenant_quota or 'none'})")
+          f"tenant quota {args.tenant_quota or 'none'}, "
+          f"calibration {'on' if args.calibrate else 'off'})")
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:
@@ -143,6 +159,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         job_server.shutdown(drain=True)
         httpd.server_close()
+    return 0
+
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    import json
+
+    from .learn import (GeneticCostLearner, LogGenerator, observation_from_json,
+                        save_params)
+    from .simulation.cluster import VirtualCluster
+
+    if args.observations:
+        with open(args.observations) as handle:
+            docs = json.load(handle)
+        records = [observation_from_json(doc) for doc in docs]
+        print(f"loaded {len(records)} stage observations "
+              f"from {args.observations}")
+    else:
+        print("generating the execution-log corpus "
+              "(pipeline/iterative/merge topologies) ...")
+        records = LogGenerator().generate()
+        print(f"generated {len(records)} stage observations")
+    if not records:
+        print("repro learn: no observations to fit against", file=sys.stderr)
+        return 1
+    learner = GeneticCostLearner(VirtualCluster(), records, seed=args.seed)
+    result = learner.fit(population_size=args.population,
+                         generations=args.generations)
+    print(f"fit {len(result.params)} (platform, operator-kind) parameter "
+          f"pairs over {result.generations} generation(s), "
+          f"final loss {result.loss:.4f}")
+    save_params(result.params, args.out)
+    print(f"wrote learned cost parameters to {args.out}")
     return 0
 
 
@@ -255,6 +303,35 @@ def main(argv: list[str] | None = None) -> int:
                        help="total intra-job stage-lane budget across all "
                             "workers; each job gets stage-threads/jobs "
                             "lanes (default: 2x --jobs)")
+    serve.add_argument("--calibrate", action="store_true",
+                       help="close the trace -> cost-model loop online: "
+                            "committed job traces accumulate into a bounded "
+                            "calibration corpus; once enough (or drifted) "
+                            "samples arrive a genetic refit republishes the "
+                            "cost parameters to every worker")
+    serve.add_argument("--calibrate-min-samples", type=int, default=None,
+                       dest="calibrate_min_samples",
+                       help="stage samples that trigger a refit "
+                            "(default 24)")
+    serve.add_argument("--calibrate-drift", type=float, default=None,
+                       dest="calibrate_drift",
+                       help="relative prediction-error moving average that "
+                            "triggers an early refit (default 0.35)")
+    learn = sub.add_parser(
+        "learn", help="fit the cost model offline and save the parameters")
+    learn.add_argument("--out", default="learned_params.json",
+                       help="where to write the learned parameters "
+                            "(default: learned_params.json)")
+    learn.add_argument("--observations", default=None,
+                       help="JSON file with a list of stage observations "
+                            "(as produced by the calibration corpus) to fit "
+                            "against instead of generating a fresh log")
+    learn.add_argument("--population", type=int, default=60,
+                       help="GA population size (default 60)")
+    learn.add_argument("--generations", type=int, default=120,
+                       help="GA generations (default 120)")
+    learn.add_argument("--seed", type=int, default=7,
+                       help="GA random seed (default 7)")
     lint = sub.add_parser(
         "lint", help="statically analyze the plans a script builds "
                      "and/or the runtime's lock discipline")
@@ -281,12 +358,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.command is None:
         parser.print_usage(sys.stderr)
         print("repro: error: a subcommand is required "
-              "(run, trace, serve or lint)", file=sys.stderr)
+              "(run, trace, serve, learn or lint)", file=sys.stderr)
         return 2
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "learn":
+        return _cmd_learn(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return _cmd_serve(args)

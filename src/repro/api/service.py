@@ -34,7 +34,8 @@ class RheemService:
 
     def submit(self, document: dict,
                tracer: Tracer | NullTracer | None = None,
-               cancel_check: Callable[[], None] | None = None) -> dict:
+               cancel_check: Callable[[], None] | None = None,
+               observations: bool = False) -> dict:
         """Run one job document; always returns a JSON-ready dict.
 
         Response shape: ``{"status": "ok", "output": [...], "runtime": s,
@@ -43,6 +44,13 @@ class RheemService:
         ``{"status": "error", "error": "...", "kind": "..."}``; error
         responses carry a ``diagnostics`` list too when the static analyzer
         rejected the plan.
+
+        With ``observations=True`` a successful, calibration-eligible run
+        (``result.calibration_ok`` — not a sniffer or fault-injection
+        execution) additionally carries ``"calibration_observations"``:
+        JSON-able per-stage observations for the online cost calibrator.
+        The flag is server-internal — worker shards ship observations
+        back over their pipe; plain REST responses omit them.
 
         Each job runs under its own per-request tracer, *passed through*
         the optimizer and executor rather than installed on the shared
@@ -91,6 +99,12 @@ class RheemService:
             "price_usd": price_of(result),
             "diagnostics": [d.to_json() for d in result.diagnostics],
         }
+        if observations and getattr(result, "calibration_ok", False):
+            from ..learn.calibration import observation_to_json
+
+            response["calibration_observations"] = [
+                observation_to_json(obs)
+                for obs in result.monitor.stage_observations]
         # A disabled tracer has no spans and the caller asked for the
         # hot path (the job server's tracing=False mode) — rendering the
         # metrics block per response would be pure overhead.

@@ -102,6 +102,20 @@ LOCK_ORDER: tuple[LockSpec, ...] = (
             "of the request — the shard process is the critical section)",
     ),
     LockSpec(
+        name="calibration.corpus",
+        rank=18,
+        kind="lock",
+        owners=("repro.learn.calibration:CostCalibrator._lock",),
+        guards=("CostCalibrator.params", "CostCalibrator._pending",
+                "CostCalibrator._drift", "CostCalibrator._refits",
+                "CostCalibrator._fitting"),
+        doc="online-calibration corpus and refit bookkeeping: sample "
+            "buckets, drift EWMA and the single-refit-in-flight flag; "
+            "released while the genetic fit runs and while the merged "
+            "parameters are published (the process-backend broadcast "
+            "takes server.pool, rank 12)",
+    ),
+    LockSpec(
         name="context.publish",
         rank=20,
         kind="lock",
@@ -207,6 +221,7 @@ PARAM_LOCKS: dict[str, str] = {
 #: class scanned elsewhere in the tree (cross-class call edges: e.g. the
 #: publish path calling ``self.plan_cache.flush()``).
 ATTR_TYPES: dict[str, str] = {
+    "calibrator": "repro.learn.calibration:CostCalibrator",
     "plan_cache": "repro.core.plancache:ExecutionPlanCache",
     "result_store": "repro.core.resultstore:IntermediateResultStore",
     "graph": "repro.core.channels:ChannelConversionGraph",

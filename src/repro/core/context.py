@@ -134,8 +134,16 @@ class RheemContext:
         under a lock: an in-flight optimization sees either the old or the
         new parameter set, never a half-written one, and its cache entry is
         keyed by the version it actually used.
+
+        Publishing parameters equal to the current ones is a version-stable
+        no-op: a convergent periodic refit (the online calibrator) would
+        otherwise evict every warm plan and intermediate result for a
+        parameter set under which each cached decision is still exactly
+        right.
         """
         with self._publish_lock:
+            if dict(params) == self.cost_model.params:
+                return
             self.cost_model.params = dict(params)
             self.cost_model.version += 1
             self.plan_cache.flush()

@@ -130,6 +130,11 @@ class ExecutionResult:
     #: (:class:`repro.analysis.Diagnostic` objects; empty when analysis
     #: was disabled).
     diagnostics: list = field(default_factory=list)
+    #: Whether this run's stage observations may feed online cost-model
+    #: calibration.  Mirrors the result-store bypass: sniffer and
+    #: fault-injection runs measure exploratory or perturbed executions,
+    #: not production cost truth.
+    calibration_ok: bool = False
 
     @property
     def output(self) -> Any:
@@ -284,7 +289,7 @@ class Executor:
 
         Ready stages (all producers computed) are dispatched onto up
         to ``config["stage_parallelism"]`` worker lanes (default: the
-        number of distinct platforms in the plan, capped by the server's
+        stage DAG's critical-path width, capped by the server's
         ``stage_parallelism_cap`` thread budget).  Commits are applied in
         stage-list order, so every observable effect — outputs, monitor
         contents, sniffer delivery, checkpoint barriers, the simulated
@@ -410,6 +415,10 @@ class Executor:
             monitor=monitor,
             stage_count=len(stages),
             platforms=set(started),
+            # The calibration hygiene predicate, mirrored from the
+            # result-store bypass: exploratory (sniffed) and perturbed
+            # (fault-injected) runs must never teach the cost model.
+            calibration_ok=(not sniffers and fault_injector is None),
         )
 
     # ------------------------------------------------------- result reuse
@@ -470,23 +479,51 @@ class Executor:
                     crossing.add(ti.producer.id)
         return crossing
 
+    #: Ceiling on the adaptive lane default: beyond this, extra threads
+    #: only add hand-off latency on commodity hosts (explicit
+    #: ``stage_parallelism`` config is not subject to it).
+    ADAPTIVE_LANE_CEILING = 8
+
     def _stage_parallelism(self, plan: ExecutionPlan,
                            stages: list[ExecutionStage]) -> int:
         """Resolve the lane count for this plan.
 
-        ``config["stage_parallelism"]`` wins; the default is the number
-        of distinct (non-driver) platforms in the plan — one lane per
-        platform is the natural width of inter-platform parallelism.
-        The server's thread budget (``stage_parallelism_cap``) bounds it.
+        ``config["stage_parallelism"]`` wins; otherwise the lane count
+        adapts to the stage DAG itself: the maximum width of its
+        critical-path levels (:meth:`_dag_width`) — how many stages can
+        ever be ready simultaneously.  A linear chain gets one lane
+        (threads would only add hand-off latency), a wide fan-in gets
+        one lane per concurrent branch.  The adaptive default is capped
+        at :attr:`ADAPTIVE_LANE_CEILING`; the server's thread budget
+        (``stage_parallelism_cap``) bounds both paths.
         """
         requested = self.config.get("stage_parallelism")
         if requested is None:
-            requested = len(plan.platforms()) or 1
+            requested = min(self._dag_width(stages),
+                            self.ADAPTIVE_LANE_CEILING)
         requested = max(1, int(requested))
         cap = self.config.get("stage_parallelism_cap")
         if cap is not None:
             requested = min(requested, max(1, int(cap)))
         return min(requested, max(1, len(stages)))
+
+    @staticmethod
+    def _dag_width(stages: list[ExecutionStage]) -> int:
+        """Maximum number of stages sharing a critical-path level.
+
+        Level of a stage = 1 + the deepest of its dependencies' levels
+        (computed in one pass — ``build_stages`` emits topological
+        order).  The widest level is an upper estimate of how many lanes
+        the scheduler can ever keep busy at once.
+        """
+        level: dict[str, int] = {}
+        width: dict[int, int] = {}
+        for stage in stages:
+            lvl = 1 + max((level.get(dep, 0) for dep in stage.dependencies),
+                          default=0)
+            level[stage.id] = lvl
+            width[lvl] = width.get(lvl, 0) + 1
+        return max(width.values(), default=1)
 
     @staticmethod
     def _stage_platforms(stage: ExecutionStage) -> list[str]:
@@ -679,7 +716,9 @@ class Executor:
         self.metrics.counter("executor.stages").inc()
         if monitor is not None:
             monitor.record_stage(timing, outcome.platform,
-                                 outcome.observations)
+                                 outcome.observations,
+                                 vectorize=bool(
+                                     self.config.get("vectorize", False)))
         return timing
 
     # --------------------------------------------------------------- tasks

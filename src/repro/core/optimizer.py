@@ -270,9 +270,21 @@ class Optimizer:
         self.analysis = True
         self.tracer = tracer or NO_TRACER
         self.metrics = metrics or MetricsRegistry()
+        #: Beam-search engagement threshold (RHEEMix plan-space sampling):
+        #: plans with MORE operators than this bound the per-operator
+        #: frontier to :attr:`beam_width` cheapest survivors.  At or below
+        #: the threshold enumeration is the bit-for-bit identical lossless
+        #: DP — the beam path is never entered, so small plans cannot be
+        #: affected.  ``None`` disables the beam entirely.
+        self.beam_threshold: int | None = 48
+        #: Frontier bound once the beam engages.  Survivors are ranked by
+        #: (cost gm, signature) so the truncation is deterministic and
+        #: ties break exactly like the lossless first-seen rule.
+        self.beam_width = 24
         #: Per-phase counters of the last :meth:`pick_best` run.
         self.stats: dict[str, int] = dict.fromkeys(
-            ("plans_enumerated", "plans_pruned", "conversion_paths_solved"), 0)
+            ("plans_enumerated", "plans_pruned", "conversion_paths_solved",
+             "plans_beam_dropped"), 0)
 
     # ----------------------------------------------------------- public API
     def optimize(self, plan: RheemPlan) -> ExecutionPlan:
@@ -614,7 +626,20 @@ class Optimizer:
         pruning enabled, one per boundary signature (lossless).  Operators
         in ``phantom_open`` keep their output channel in the signature even
         with no uncovered consumer (loop inputs/outputs).
+
+        Above :attr:`beam_threshold` operators the lossless frontier is
+        additionally bounded to the :attr:`beam_width` cheapest signatures
+        after each operator step (beam search): on 100+-operator plans the
+        signature space — open channels × touched-platform subsets — grows
+        past what per-signature pruning alone can contain, and RHEEMix's
+        answer is to sample the plan space rather than enumerate it.  The
+        truncation order is deterministic (cost, then signature), so
+        repeated optimizations of the same plan pick the same winner.
         """
+        beam = (self.beam_width
+                if (self.prune and self.beam_threshold is not None
+                    and len(ops) > self.beam_threshold)
+                else None)
         consumer_counts = self._consumer_counts(ops)
         remaining = dict(consumer_counts)
         frontier: list[PartialPlan] = [PartialPlan()]
@@ -655,6 +680,10 @@ class Optimizer:
                     raise OptimizationError(
                         f"no executable plan at operator {op}")
                 frontier = list(best_by_key.values())
+                if beam is not None and len(frontier) > beam:
+                    frontier.sort(key=self._beam_rank)
+                    self.stats["plans_beam_dropped"] += len(frontier) - beam
+                    del frontier[beam:]
             else:
                 if not candidates:
                     raise OptimizationError(
@@ -662,6 +691,16 @@ class Optimizer:
                 frontier = candidates
             self.last_enumeration_size += len(frontier)
         return frontier
+
+    @staticmethod
+    def _beam_rank(partial: PartialPlan) -> tuple:
+        """Deterministic beam order: cheapest first, signature-tie-broken.
+
+        The signature tail makes equal-cost survivors sort identically
+        across runs and cache states (frozensets have no stable iteration
+        order, so platforms are sorted into a tuple)."""
+        open_sig, platforms = partial.signature()
+        return (partial.gm, open_sig, tuple(sorted(platforms)))
 
     @staticmethod
     def _consumer_counts(ops: Sequence[Operator]) -> dict[int, int]:

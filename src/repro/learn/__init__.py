@@ -1,5 +1,13 @@
-"""Offline cost-model learning: log generation + genetic-algorithm fitting."""
+"""Cost-model learning: offline log generation + genetic-algorithm
+fitting, plus the online trace → cost-model calibration loop."""
 
+from .calibration import (
+    CalibrationCorpus,
+    CostCalibrator,
+    observation_from_json,
+    observation_to_json,
+    predict_stage_with_defaults,
+)
 from .generator import GeneratorConfig, LogGenerator, TOPOLOGIES
 from .genetic import FitResult, GeneticCostLearner, predict_stage
 from .loss import corpus_loss, relative_loss, stage_weights
@@ -11,12 +19,17 @@ from .persistence import (
 )
 
 __all__ = [
+    "CalibrationCorpus",
+    "CostCalibrator",
     "GeneratorConfig",
     "LogGenerator",
     "TOPOLOGIES",
     "FitResult",
     "GeneticCostLearner",
+    "observation_from_json",
+    "observation_to_json",
     "predict_stage",
+    "predict_stage_with_defaults",
     "corpus_loss",
     "relative_loss",
     "stage_weights",

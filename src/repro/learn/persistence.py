@@ -9,6 +9,7 @@ deployment's logs, persist the parameters, and hand them to every future
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 
 from ..core.cost import OperatorCostParams
@@ -21,19 +22,62 @@ def params_to_json(params: dict[str, OperatorCostParams]) -> str:
     return json.dumps(doc, indent=2)
 
 
+def _validated_field(key: str, entry: dict, name: str) -> float:
+    """One finite, non-negative numeric parameter field, or ValueError.
+
+    A persisted file is the trust boundary between deployments: NaN or
+    ±inf here poisons every cost comparison (NaN compares false against
+    everything, so plan choice degrades to declaration order), negatives
+    make "cheaper" mean "more records", and a bool would silently
+    truncate.  Each rejection names the offending key so a corrupt file
+    is fixable without a debugger.
+    """
+    if name not in entry:
+        raise ValueError(
+            f"malformed cost-parameter document: {key!r} is missing {name!r}")
+    value = entry[name]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(
+            f"malformed cost-parameter document: {key!r}.{name} must be a "
+            f"number, got {value!r}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(
+            f"malformed cost-parameter document: {key!r}.{name} must be "
+            f"finite, got {value!r}")
+    if value < 0:
+        raise ValueError(
+            f"malformed cost-parameter document: {key!r}.{name} must be "
+            f"non-negative, got {value!r}")
+    return value
+
+
 def params_from_json(text: str) -> dict[str, OperatorCostParams]:
     """Parse parameters serialized by :func:`params_to_json`.
 
     Raises:
-        ValueError: On malformed documents.
+        ValueError: On malformed documents — non-mapping structure or
+            any alpha/beta/delta that is missing, non-numeric, NaN,
+            infinite or negative; the message names the offending key.
     """
     try:
         doc = json.loads(text)
-        return {key: OperatorCostParams(entry["alpha"], entry["beta"],
-                                        entry["delta"])
-                for key, entry in doc.items()}
-    except (KeyError, TypeError, AttributeError) as exc:
+    except json.JSONDecodeError as exc:
         raise ValueError(f"malformed cost-parameter document: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ValueError("malformed cost-parameter document: expected a "
+                         f"mapping, got {type(doc).__name__}")
+    params: dict[str, OperatorCostParams] = {}
+    for key, entry in doc.items():
+        if not isinstance(entry, dict):
+            raise ValueError(
+                f"malformed cost-parameter document: entry {key!r} must be "
+                f"a mapping, got {type(entry).__name__}")
+        params[key] = OperatorCostParams(
+            _validated_field(key, entry, "alpha"),
+            _validated_field(key, entry, "beta"),
+            _validated_field(key, entry, "delta"))
+    return params
 
 
 def save_params(params: dict[str, OperatorCostParams],

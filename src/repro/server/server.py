@@ -44,6 +44,7 @@ from ..api.service import RheemService
 from ..concurrency import OrderedLock
 from ..core.context import RheemContext
 from ..core.executor import JobCancelled
+from ..learn.calibration import CostCalibrator, observation_from_json
 from ..trace import NO_TRACER, MetricsRegistry, Tracer, merge_snapshots
 from .jobs import Job, JobState
 from .shards import ShardDied, ShardPool, document_fingerprint
@@ -103,6 +104,19 @@ class JobServer:
             replicas (default).  Off, a dead slot stays retired.
         start_method: Process backend: multiprocessing start method
             (default ``fork`` where available).
+        calibrate: Close the trace → cost-model loop: committed jobs'
+            stage observations feed a :class:`CostCalibrator`, whose
+            refits publish through :meth:`publish_cost_params` (broadcast
+            to every shard on the process backend).  Refits run on the
+            worker thread *after* the job's response is published, so
+            response latency never pays for the genetic fit.
+        calibration: Extra keyword arguments for the
+            :class:`CostCalibrator` (``min_samples``,
+            ``drift_threshold``, ``initial_params``, ``cluster``,
+            ``vectorize``, GA budget...).  ``initial_params`` defaults to
+            the shared context's published snapshot on the thread
+            backend; on the process backend pass the factory's params
+            explicitly if drift should be measured against them.
     """
 
     def __init__(
@@ -120,6 +134,8 @@ class JobServer:
         tracing: bool = True,
         respawn_shards: bool = True,
         start_method: str | None = None,
+        calibrate: bool = False,
+        calibration: dict[str, Any] | None = None,
     ) -> None:
         if backend not in ("thread", "process"):
             raise ValueError(f"backend must be 'thread' or 'process', "
@@ -175,6 +191,37 @@ class JobServer:
         self._ids = itertools.count(1)
         self._pool = ThreadPoolExecutor(max_workers=self.workers,
                                         thread_name_prefix="rheem-job")
+        self.calibrator: CostCalibrator | None = None
+        if calibrate:
+            self.calibrator = self._build_calibrator(dict(calibration or {}))
+
+    def _build_calibrator(self, knobs: dict[str, Any]) -> CostCalibrator:
+        """Wire a :class:`CostCalibrator` to this server's publish path.
+
+        The thread backend calibrates against the shared context's
+        cluster and currently published parameters; the process backend
+        (where the parent holds no context) uses a default
+        :class:`~repro.simulation.cluster.VirtualCluster` unless the
+        ``calibration`` dict supplies one — shard replicas are built from
+        a factory the parent cannot introspect.
+        """
+        from ..simulation.cluster import VirtualCluster
+
+        cluster = knobs.pop("cluster", None)
+        if cluster is None:
+            cluster = (self.ctx.cluster if self.ctx is not None
+                       else VirtualCluster())
+        initial = knobs.pop("initial_params", None)
+        if initial is None and self.ctx is not None:
+            initial = self.ctx.cost_params_snapshot()
+        vectorize = knobs.pop("vectorize", None)
+        if vectorize is None:
+            vectorize = (bool(self.ctx.config.get("vectorize", False))
+                         if self.ctx is not None else False)
+        return CostCalibrator(
+            cluster, self.publish_cost_params,
+            vectorize=bool(vectorize), initial_params=initial,
+            metrics=self.metrics, tracer=Tracer(), **knobs)
 
     # ------------------------------------------------------------ admission
     @property
@@ -330,6 +377,8 @@ class JobServer:
             }
         if self._shards is not None:
             snap["shards"] = self._shards.snapshot()
+        if self.calibrator is not None:
+            snap["calibration"] = self.calibrator.stats()
         return snap
 
     def metrics_snapshot(self) -> dict[str, Any]:
@@ -472,6 +521,12 @@ class JobServer:
             assert job.wait_s is not None
             self.metrics.histogram("server.wait_s").observe(job.wait_s)
             state, response = self._execute(job)
+            # Observations are server-internal: stripped before the
+            # response is published to the client, ingested after
+            # finished.set() so a triggered refit (the genetic fit) never
+            # adds to the job's observable latency.
+            observations = (response.pop("calibration_observations", None)
+                            if isinstance(response, dict) else None)
             with self._lock:
                 job.state = state
                 job.finished_at = time.monotonic()
@@ -490,8 +545,25 @@ class JobServer:
             self.metrics.histogram("server.run_s").observe(job.run_s)
             self.metrics.counter(f"server.jobs.{state.value}").inc()
             job.finished.set()
+            if observations and self.calibrator is not None:
+                self._ingest_observations(observations)
             # Loop: this completion may have freed a tenant-quota slot,
             # and this worker is the one that must recheck the queue.
+
+    def _ingest_observations(self, docs: list[dict[str, Any]]) -> None:
+        """Feed one committed job's stage observations to the calibrator.
+
+        Runs on the worker thread after the job's response was already
+        published — a refit trigger grinds the genetic fit here, off the
+        response path.  Calibration is advisory: it must never kill a
+        worker, so every failure lands in a counter instead.
+        """
+        assert self.calibrator is not None
+        try:
+            self.calibrator.observe(
+                [observation_from_json(doc) for doc in docs])
+        except Exception:  # noqa: BLE001 — advisory path, workers survive
+            self.metrics.counter("calibration.errors").inc()
 
     def _execute(self, job: Job) -> tuple[JobState, dict[str, Any]]:
         """Run one picked job on the configured backend; never raises."""
@@ -503,7 +575,8 @@ class JobServer:
             assert self.service is not None
             response = self.service.submit(
                 job.document, tracer=job.tracer,
-                cancel_check=lambda: self._cancel_check(job))
+                cancel_check=lambda: self._cancel_check(job),
+                observations=self.calibrator is not None)
         except JobCancelled as exc:
             return JobState.TIMEOUT, {
                 "status": "error", "kind": "Timeout", "error": str(exc),
@@ -526,7 +599,8 @@ class JobServer:
         job.shard_slot = shard.slot
         try:
             response = shard.run_job(job.job_id, job.document, remaining,
-                                     self._tracing)
+                                     self._tracing,
+                                     observe=self.calibrator is not None)
         except ShardDied as exc:
             # The shard's context replica died with it; the job is
             # terminally failed (no silent retry — the caller decides).

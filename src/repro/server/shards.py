@@ -109,7 +109,7 @@ def _shard_main(conn: Connection, shard_id: int,
         value: Any = None
         try:
             if kind == "job":
-                job_id, document, remaining_s, trace = payload
+                job_id, document, remaining_s, trace, observe = payload
                 deadline = (None if remaining_s is None
                             else time.monotonic() + remaining_s)
 
@@ -124,7 +124,8 @@ def _shard_main(conn: Connection, shard_id: int,
                 try:
                     cancel_check()  # the deadline may already be gone
                     value = service.submit(document, tracer=tracer,
-                                           cancel_check=cancel_check)
+                                           cancel_check=cancel_check,
+                                           observations=observe)
                 except JobCancelled as exc:
                     value = {"status": "error", "kind": "Timeout",
                              "error": str(exc), "job_id": job_id}
@@ -224,9 +225,16 @@ class ProcessShard:
         return value
 
     def run_job(self, job_id: str, document: dict[str, Any],
-                remaining_s: float | None, trace: bool) -> dict[str, Any]:
-        """Execute one job document on this shard; returns its response."""
-        response = self.call("job", (job_id, document, remaining_s, trace))
+                remaining_s: float | None, trace: bool,
+                observe: bool = False) -> dict[str, Any]:
+        """Execute one job document on this shard; returns its response.
+
+        ``observe`` asks the shard to attach calibration observations to
+        a successful, calibration-eligible response (the parent's cost
+        calibrator strips and ingests them).
+        """
+        response = self.call("job", (job_id, document, remaining_s, trace,
+                                     observe))
         self.jobs_run += 1
         return response  # type: ignore[no-any-return]
 

@@ -14,6 +14,7 @@ import time
 import pytest
 
 from repro import RheemContext
+from repro.core.cost import OperatorCostParams
 from repro.server import (
     AdmissionError,
     JobServer,
@@ -100,7 +101,10 @@ class TestProcessBackend:
         assert len(slots) == 1, f"sticky plan bounced across {slots}"
 
     def test_publish_broadcast_reaches_every_shard(self, server):
+        # Publish a genuinely new parameter: republishing the params a
+        # shard already holds is a version-stable no-op.
         params = RheemContext().cost_params_snapshot()
+        params["pystreams.map"] = OperatorCostParams(alpha=1.5)
         assert server.publish_cost_params(params) == 3
         # The broadcast must not disturb serving.
         assert server.submit_sync(_doc(7), timeout=60)["status"] == "ok"
